@@ -1,0 +1,249 @@
+(* Benchmark harness: one Bechamel test per paper artefact (Tables 1-3,
+   Figures 3-4) plus microbenchmarks of the index structures and the
+   simulation substrates.  After the timing pass it regenerates and prints
+   the paper-shaped rows/series at bench scale, so the output doubles as a
+   quick-look reproduction of the evaluation section.
+
+   Scale note: Bechamel re-runs each staged function many times, so the
+   artefact tests use a reduced query volume (2^15-2^17).  Per-key results
+   are what the paper's figures compare and are stable under this scaling;
+   run `repro fig3 --scale paper` for full-scale numbers. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures (built once, outside the timed regions) *)
+
+let bench_scenario =
+  {
+    Workload.Scenario.paper with
+    Workload.Scenario.name = "bench";
+    n_queries = 1 lsl 15;
+  }
+
+let keys, queries = Dispatch.Runner.workload bench_scenario
+
+let fresh_machine () =
+  Machine.create (Simcore.Engine.create ()) ~name:"bench"
+    Cachesim.Mem_params.pentium3
+
+let lookup_queries = Array.sub queries 0 1024
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks: index structures (1024 simulated lookups each) *)
+
+let test_sorted_array =
+  let m = fresh_machine () in
+  let sa = Index.Sorted_array.build m keys in
+  Test.make ~name:"sorted-array/1k-lookups"
+    (Staged.stage @@ fun () ->
+     Array.iter (fun q -> ignore (Index.Sorted_array.search sa q)) lookup_queries)
+
+let test_nary =
+  let m = fresh_machine () in
+  let t = Index.Nary_tree.build m keys in
+  Test.make ~name:"nary-tree/1k-lookups"
+    (Staged.stage @@ fun () ->
+     Array.iter (fun q -> ignore (Index.Nary_tree.search t q)) lookup_queries)
+
+let test_csb =
+  let m = fresh_machine () in
+  let t = Index.Csb_tree.build m keys in
+  Test.make ~name:"csb-tree/1k-lookups"
+    (Staged.stage @@ fun () ->
+     Array.iter (fun q -> ignore (Index.Csb_tree.search t q)) lookup_queries)
+
+let test_buffered =
+  let m = fresh_machine () in
+  let t = Index.Nary_tree.build m keys in
+  let b = Index.Buffered.create ~max_batch:1024 t in
+  let region = Machine.alloc m 1024 in
+  Test.make ~name:"buffered/1k-batch"
+    (Staged.stage @@ fun () ->
+     Machine.poke_array m region lookup_queries;
+     Index.Buffered.process_batch b ~queries:region ~results:region ~n:1024)
+
+let test_eytzinger =
+  let m = fresh_machine () in
+  let t = Index.Eytzinger.build m keys in
+  Test.make ~name:"eytzinger/1k-lookups"
+    (Staged.stage @@ fun () ->
+     Array.iter (fun q -> ignore (Index.Eytzinger.search t q)) lookup_queries)
+
+let test_cache_access =
+  let h = Cachesim.Hierarchy.create Cachesim.Mem_params.pentium3 in
+  let g = Prng.Splitmix.create 3 in
+  let addrs = Array.init 4096 (fun _ -> Prng.Splitmix.int g (1 lsl 24)) in
+  Test.make ~name:"cachesim/4k-accesses"
+    (Staged.stage @@ fun () ->
+     Array.iter (fun a -> ignore (Cachesim.Hierarchy.access h ~addr:a ~write:false)) addrs)
+
+let test_engine =
+  Test.make ~name:"simcore/1k-process-switches"
+    (Staged.stage @@ fun () ->
+     let eng = Simcore.Engine.create () in
+     Simcore.Engine.spawn eng (fun () ->
+         for _ = 1 to 1000 do
+           Simcore.Engine.delay eng 1.0
+         done);
+     Simcore.Engine.run eng)
+
+let test_mpi_collectives =
+  Test.make ~name:"mpi/barrier+reduce-8-ranks"
+    (Staged.stage @@ fun () ->
+     let eng = Simcore.Engine.create () in
+     let comm = Netsim.Mpi.create eng Netsim.Profile.myrinet ~ranks:8 in
+     for r = 0 to 7 do
+       Simcore.Engine.spawn eng (fun () ->
+           Netsim.Mpi.barrier comm ~rank:r ~fill:0;
+           ignore (Netsim.Mpi.reduce comm ~rank:r ~root:0 ~size:8 ~op:( + ) r))
+     done;
+     Simcore.Engine.run eng)
+
+let micro_tests =
+  Test.make_grouped ~name:"micro"
+    [ test_sorted_array; test_nary; test_csb; test_buffered;
+      test_eytzinger; test_cache_access; test_engine; test_mpi_collectives ]
+
+(* ------------------------------------------------------------------ *)
+(* One test per paper artefact *)
+
+let test_table1 =
+  Test.make ~name:"table1/index-setup"
+    (Staged.stage @@ fun () ->
+     ignore (Dispatch.Experiment.table1 ~scenario:bench_scenario ()))
+
+let test_table2 =
+  Test.make ~name:"table2/calibration"
+    (Staged.stage @@ fun () ->
+     ignore
+       (Dispatch.Calibrate.measure Cachesim.Mem_params.pentium3
+          Netsim.Profile.myrinet))
+
+let fig3_point method_id =
+  let sc = Workload.Scenario.with_batch bench_scenario (128 * 1024) in
+  Test.make ~name:(Printf.sprintf "fig3/method-%s" (Dispatch.Methods.to_string method_id))
+    (Staged.stage @@ fun () ->
+     let r = Dispatch.Runner.run sc ~method_id ~keys ~queries in
+     assert (r.Dispatch.Run_result.validation_errors = 0))
+
+let test_fig3 =
+  Test.make_grouped ~name:"fig3"
+    (List.map fig3_point Dispatch.Methods.all)
+
+let test_hier_point =
+  let sc =
+    Workload.Scenario.with_batch
+      { bench_scenario with Workload.Scenario.n_nodes = 13 }
+      (128 * 1024)
+  in
+  Test.make ~name:"extension/method-C3-hier"
+    (Staged.stage @@ fun () ->
+     let r =
+       Dispatch.Method_c_hier.run sc ~routers:2 ~variant:Dispatch.Methods.C3
+         ~keys ~queries ()
+     in
+     assert (r.Dispatch.Run_result.validation_errors = 0))
+
+let test_table3 =
+  Test.make ~name:"table3/model-predictions"
+    (Staged.stage @@ fun () ->
+     let sc = bench_scenario in
+     let shape = Dispatch.Experiment.model_shape sc ~keys in
+     let p = sc.Workload.Scenario.params in
+     ignore (Model.Predict.method_a p shape ~normalize_nodes:11);
+     ignore
+       (Model.Predict.method_b p shape
+          ~group_levels:(Dispatch.Experiment.group_height sc ~keys)
+          ~batch_keys:32768 ~normalize_nodes:11);
+     ignore
+       (Model.Predict.method_c3 p sc.Workload.Scenario.net ~slave_keys:32768
+          ~n_masters:1 ~n_slaves:10))
+
+let test_fig4 =
+  Test.make ~name:"fig4/trend-model"
+    (Staged.stage @@ fun () ->
+     ignore (Dispatch.Experiment.fig4 ~scenario:bench_scenario ~years:5 ()))
+
+let artefact_tests =
+  Test.make_grouped ~name:"paper"
+    [ test_table1; test_table2; test_fig3; test_table3; test_fig4;
+      test_hier_point ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing *)
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+
+let print_results results =
+  let tbl =
+    Report.Table.create ~headers:[ "benchmark"; "time/run"; "r^2" ]
+  in
+  List.iter
+    (fun (name, ols) ->
+      let time =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Simcore.Simtime.to_string t
+        | _ -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      Report.Table.add_row tbl [ name; time; r2 ])
+    results;
+  print_string (Report.Table.render tbl)
+
+(* ------------------------------------------------------------------ *)
+(* Paper-shaped output at bench scale *)
+
+let print_paper_shapes () =
+  print_endline "\n===== paper artefacts at bench scale =====\n";
+  print_endline "--- Table 1 ---";
+  print_string
+    (Report.Table.render (Dispatch.Experiment.table1 ~scenario:bench_scenario ()));
+  print_endline "\n--- Table 2 ---";
+  print_string
+    (Report.Table.render (Dispatch.Experiment.table2 ~scenario:bench_scenario ()));
+  print_endline "\n--- Figure 3 (reduced sweep) ---";
+  let sweep_sc =
+    { bench_scenario with Workload.Scenario.n_queries = 1 lsl 17 }
+  in
+  let rows =
+    Dispatch.Experiment.fig3 ~scenario:sweep_sc
+      ~batches:[ 8 * 1024; 32 * 1024; 128 * 1024; 512 * 1024 ]
+      ()
+  in
+  print_string (Dispatch.Experiment.render_fig3 ~scenario:sweep_sc rows);
+  print_endline "\n--- Table 3 ---";
+  let t3_sc =
+    { bench_scenario with Workload.Scenario.n_queries = 1 lsl 18 }
+  in
+  print_string
+    (Dispatch.Experiment.render_table3 ~scenario:t3_sc
+       (Dispatch.Experiment.table3 ~scenario:t3_sc ()));
+  print_endline "\n--- Figure 4 ---";
+  print_string
+    (Dispatch.Experiment.render_fig4
+       (Dispatch.Experiment.fig4 ~scenario:bench_scenario ~years:5 ()))
+
+let () =
+  print_endline "===== microbenchmarks (bechamel) =====";
+  print_results (benchmark micro_tests);
+  print_endline "\n===== paper-artefact benchmarks (bechamel) =====";
+  print_results (benchmark artefact_tests);
+  print_paper_shapes ()

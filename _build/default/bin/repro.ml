@@ -1,0 +1,271 @@
+(* Command-line driver that regenerates every table and figure of the
+   paper, plus the ablation studies.  `repro --help` lists subcommands. *)
+
+open Cmdliner
+
+let kib n = n * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Shared options *)
+
+let scale_arg =
+  let doc =
+    "Workload scale: 'paper' (2^23 queries, as published), 'scaled' (2^21 \
+     queries, same per-key results, default) or 'ci' (tiny smoke test)."
+  in
+  Arg.(value & opt string "scaled" & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let queries_arg =
+  let doc = "Override the number of search keys (queries)." in
+  Arg.(value & opt (some int) None & info [ "queries" ] ~docv:"N" ~doc)
+
+let keys_arg =
+  let doc = "Override the number of indexed keys." in
+  Arg.(value & opt (some int) None & info [ "keys" ] ~docv:"N" ~doc)
+
+let nodes_arg =
+  let doc = "Override the cluster size (including the master)." in
+  Arg.(value & opt (some int) None & info [ "nodes" ] ~docv:"N" ~doc)
+
+let batch_arg =
+  let doc = "Override the batch/message size in KB." in
+  Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"KB" ~doc)
+
+let masters_arg =
+  let doc = "Number of master nodes for Method C (paper: 1)." in
+  Arg.(value & opt (some int) None & info [ "masters" ] ~docv:"N" ~doc)
+
+let network_arg =
+  let doc = "Network profile: myrinet | gige | fast-ethernet." in
+  Arg.(value & opt string "myrinet" & info [ "network" ] ~docv:"NET" ~doc)
+
+let seed_arg =
+  let doc = "Workload seed." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let csv_arg =
+  let doc = "Also write raw results to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let scenario_term =
+  let build scale queries keys nodes masters batch network seed =
+    let base =
+      match String.lowercase_ascii scale with
+      | "paper" -> Ok Workload.Scenario.paper
+      | "scaled" -> Ok Workload.Scenario.scaled
+      | "ci" -> Ok Workload.Scenario.ci
+      | other -> Error (`Msg (Printf.sprintf "unknown scale %S" other))
+    in
+    let net =
+      match String.lowercase_ascii network with
+      | "myrinet" -> Ok Netsim.Profile.myrinet
+      | "gige" | "gigabit" | "gigabit-ethernet" -> Ok Netsim.Profile.gigabit_ethernet
+      | "fast-ethernet" | "ethernet" -> Ok Netsim.Profile.fast_ethernet
+      | other -> Error (`Msg (Printf.sprintf "unknown network %S" other))
+    in
+    match (base, net) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok sc, Ok net ->
+        let sc = { sc with Workload.Scenario.net } in
+        let sc =
+          match queries with
+          | Some q -> { sc with Workload.Scenario.n_queries = q }
+          | None -> sc
+        in
+        let sc =
+          match keys with
+          | Some k -> { sc with Workload.Scenario.n_keys = k }
+          | None -> sc
+        in
+        let sc =
+          match nodes with
+          | Some n -> { sc with Workload.Scenario.n_nodes = n }
+          | None -> sc
+        in
+        let sc =
+          match masters with
+          | Some m -> { sc with Workload.Scenario.n_masters = m }
+          | None -> sc
+        in
+        let sc =
+          match batch with
+          | Some b -> Workload.Scenario.with_batch sc (kib b)
+          | None -> sc
+        in
+        let sc =
+          match seed with
+          | Some s -> { sc with Workload.Scenario.seed = s }
+          | None -> sc
+        in
+        Ok sc
+  in
+  Term.(
+    term_result ~usage:true
+      (const build $ scale_arg $ queries_arg $ keys_arg $ nodes_arg
+     $ masters_arg $ batch_arg $ network_arg $ seed_arg))
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands *)
+
+let run_table1 sc =
+  say "%a@\n" Workload.Scenario.pp sc;
+  say "Table 1: the index structure setup@\n@\n%s"
+    (Report.Table.render (Dispatch.Experiment.table1 ~scenario:sc ()))
+
+let run_table2 sc =
+  say "Table 2: parameters measured on the simulated cluster@\n@\n%s"
+    (Report.Table.render (Dispatch.Experiment.table2 ~scenario:sc ()))
+
+let run_table3 sc =
+  say "%a@\n" Workload.Scenario.pp sc;
+  let rows = Dispatch.Experiment.table3 ~scenario:sc () in
+  print_string (Dispatch.Experiment.render_table3 ~scenario:sc rows)
+
+let run_fig3 sc csv methods =
+  say "%a@\n" Workload.Scenario.pp sc;
+  let methods =
+    match methods with
+    | [] -> Dispatch.Methods.all
+    | ms -> ms
+  in
+  let rows = Dispatch.Experiment.fig3 ~scenario:sc ~methods () in
+  print_string (Dispatch.Experiment.render_fig3 ~scenario:sc rows);
+  match csv with
+  | None -> ()
+  | Some path ->
+      let flat =
+        List.concat_map
+          (fun { Dispatch.Experiment.results; _ } ->
+            List.map Dispatch.Run_result.to_cells results)
+          rows
+      in
+      Report.Csv.save ~path ~header:Dispatch.Run_result.header flat;
+      say "wrote %s" path
+
+let run_fig4 sc years =
+  say "%a@\n" Workload.Scenario.pp sc;
+  print_string (Dispatch.Experiment.render_fig4 (Dispatch.Experiment.fig4 ~scenario:sc ~years ()))
+
+let run_ablation sc which =
+  let table =
+    match String.lowercase_ascii which with
+    | "batch-overhead" -> Ok (Dispatch.Ablation.batch_overhead ~scenario:sc ())
+    | "network" -> Ok (Dispatch.Ablation.network ~scenario:sc ())
+    | "skew" -> Ok (Dispatch.Ablation.skew ~scenario:sc ())
+    | "masters" -> Ok (Dispatch.Ablation.masters ~scenario:sc ())
+    | "linesize" | "line-size" -> Ok (Dispatch.Ablation.line_size ~scenario:sc ())
+    | "slave-structure" -> Ok (Dispatch.Ablation.slave_structure ~scenario:sc ())
+    | "structures" -> Ok (Dispatch.Ablation.structures ~scenario:sc ())
+    | "hierarchy" -> Ok (Dispatch.Ablation.hierarchy ~scenario:sc ())
+    | other -> Error other
+  in
+  match table with
+  | Ok t ->
+      say "%a@\n" Workload.Scenario.pp sc;
+      say "ablation %s:@\n@\n%s" which (Report.Table.render t);
+      `Ok ()
+  | Error other ->
+      `Error
+        ( false,
+          Printf.sprintf
+            "unknown ablation %S (batch-overhead | network | skew | masters \
+             | linesize | slave-structure | structures | hierarchy)"
+            other )
+
+let run_timeline sc methods =
+  let method_id =
+    match methods with m :: _ -> m | [] -> Dispatch.Methods.C3
+  in
+  say "%a@\n" Workload.Scenario.pp sc;
+  print_string (Dispatch.Experiment.timeline ~scenario:sc ~method_id ())
+
+let run_all sc =
+  run_table1 sc;
+  run_table2 sc;
+  run_fig3 sc None [];
+  run_table3 sc;
+  run_fig4 sc 5
+
+(* ------------------------------------------------------------------ *)
+(* Command wiring *)
+
+let cmd_of name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scenario_term)
+
+let methods_arg =
+  let doc = "Comma-separated methods to run (A,B,C-1,C-2,C-3)." in
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match Dispatch.Methods.of_string (String.trim p) with
+          | Some m -> go (m :: acc) rest
+          | None -> Error (`Msg (Printf.sprintf "unknown method %S" p)))
+    in
+    go [] parts
+  in
+  let print fmt ms =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map Dispatch.Methods.to_string ms))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) []
+    & info [ "methods" ] ~docv:"METHODS" ~doc)
+
+let table1_cmd = cmd_of "table1" "Reproduce Table 1 (index structure setup)." run_table1
+let table2_cmd = cmd_of "table2" "Reproduce Table 2 (measured machine parameters)." run_table2
+let table3_cmd = cmd_of "table3" "Reproduce Table 3 (model vs simulation)." run_table3
+
+let fig3_cmd =
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (search time vs batch size).")
+    Term.(const run_fig3 $ scenario_term $ csv_arg $ methods_arg)
+
+let fig4_cmd =
+  let years =
+    Arg.(value & opt int 5 & info [ "years" ] ~docv:"YEARS" ~doc:"Horizon in years.")
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Reproduce Figure 4 (future technology trends).")
+    Term.(const run_fig4 $ scenario_term $ years)
+
+let ablation_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "One of: batch-overhead, network, skew, masters, linesize, \
+             slave-structure, structures, hierarchy.")
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run an ablation study.")
+    Term.(ret (const run_ablation $ scenario_term $ which))
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Gantt chart of per-node busy time for one method (default C-3).")
+    Term.(const run_timeline $ scenario_term $ methods_arg)
+
+let all_cmd = cmd_of "all" "Run every table and figure in sequence." run_all
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Fast Query Processing by Distributing an Index \
+         over CPU Caches' (Ma & Cooperman, CLUSTER 2005) on a simulated \
+         cluster."
+  in
+  let group =
+    Cmd.group info
+      [ table1_cmd; table2_cmd; table3_cmd; fig3_cmd; fig4_cmd; ablation_cmd;
+        timeline_cmd; all_cmd ]
+  in
+  exit (Cmd.eval group)

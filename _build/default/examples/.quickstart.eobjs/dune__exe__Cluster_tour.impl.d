@@ -1,0 +1,1 @@
+examples/cluster_tour.ml: Array Cachesim Engine Format Machine Netsim Printf Prng Simcore Simtime Trace

@@ -1,0 +1,1 @@
+examples/packet_router.ml: Array Dispatch Format Index List Printf Prng Report Simcore Workload

@@ -1,0 +1,1 @@
+examples/pubsub_routing.ml: Array Dispatch Format Hashtbl Index List Printf Prng Report Seq Workload

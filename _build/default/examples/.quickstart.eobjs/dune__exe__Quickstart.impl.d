@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dispatch Format List Report Workload

@@ -1,0 +1,1 @@
+examples/sensor_tracking.ml: Array Dispatch Format Index Prng Report Workload

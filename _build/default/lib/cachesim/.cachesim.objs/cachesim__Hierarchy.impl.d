@@ -1,0 +1,1 @@
+lib/cachesim/hierarchy.ml: Cache Format Mem_params Prefetcher Simcore

@@ -1,0 +1,1 @@
+lib/cachesim/mem_params.ml: Format Simcore

@@ -1,0 +1,158 @@
+(* Tags store the full line number (not the set-relative tag); a slot is
+   empty when its tag is -1.  LRU is a per-slot monotone stamp: the victim
+   is the way with the smallest stamp.  Both probe and victim search scan
+   the [ways] slots of one set, which is a handful of array reads. *)
+
+type t = {
+  cache_name : string;
+  size : int;
+  line : int;
+  line_shift : int;
+  n_sets : int;
+  set_mask : int;
+  n_ways : int;
+  tags : int array; (* n_sets * n_ways *)
+  stamps : int array;
+  dirty : bool array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ?(name = "cache") ~size_bytes ~line_bytes ~ways () =
+  if not (is_pow2 line_bytes) then
+    invalid_arg "Cache.create: line size must be a power of two";
+  if ways < 1 then invalid_arg "Cache.create: ways must be >= 1";
+  if size_bytes mod (line_bytes * ways) <> 0 then
+    invalid_arg "Cache.create: size not a multiple of line * ways";
+  let n_sets = size_bytes / (line_bytes * ways) in
+  if not (is_pow2 n_sets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  {
+    cache_name = name;
+    size = size_bytes;
+    line = line_bytes;
+    line_shift = log2 line_bytes;
+    n_sets;
+    set_mask = n_sets - 1;
+    n_ways = ways;
+    tags = Array.make (n_sets * ways) (-1);
+    stamps = Array.make (n_sets * ways) 0;
+    dirty = Array.make (n_sets * ways) false;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    writebacks = 0;
+  }
+
+let name t = t.cache_name
+let size_bytes t = t.size
+let line_bytes t = t.line
+let ways t = t.n_ways
+let sets t = t.n_sets
+let lines t = t.size / t.line
+let line_of_addr t addr = addr lsr t.line_shift
+
+let find_way t base line =
+  let rec go w =
+    if w = t.n_ways then -1
+    else if t.tags.(base + w) = line then w
+    else go (w + 1)
+  in
+  go 0
+
+let access t ~addr ~write =
+  let line = addr lsr t.line_shift in
+  let base = (line land t.set_mask) * t.n_ways in
+  let w = find_way t base line in
+  if w >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.tick <- t.tick + 1;
+    t.stamps.(base + w) <- t.tick;
+    if write then t.dirty.(base + w) <- true;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let fill t ~addr ~write =
+  let line = addr lsr t.line_shift in
+  let base = (line land t.set_mask) * t.n_ways in
+  (* Prefer an empty way; otherwise evict the LRU way. *)
+  let victim = ref (-1) in
+  let lru_way = ref 0 in
+  let lru_stamp = ref max_int in
+  for w = 0 to t.n_ways - 1 do
+    let i = base + w in
+    if t.tags.(i) = -1 && !victim = -1 then victim := w;
+    if t.stamps.(i) < !lru_stamp then begin
+      lru_stamp := t.stamps.(i);
+      lru_way := w
+    end
+  done;
+  let w = if !victim >= 0 then !victim else !lru_way in
+  let i = base + w in
+  let wrote_back =
+    if t.tags.(i) <> -1 then begin
+      t.evictions <- t.evictions + 1;
+      if t.dirty.(i) then begin
+        t.writebacks <- t.writebacks + 1;
+        true
+      end
+      else false
+    end
+    else false
+  in
+  t.tick <- t.tick + 1;
+  t.tags.(i) <- line;
+  t.stamps.(i) <- t.tick;
+  t.dirty.(i) <- write;
+  wrote_back
+
+let resident t ~addr =
+  let line = addr lsr t.line_shift in
+  let base = (line land t.set_mask) * t.n_ways in
+  find_way t base line >= 0
+
+let invalidate t ~addr =
+  let line = addr lsr t.line_shift in
+  let base = (line land t.set_mask) * t.n_ways in
+  let w = find_way t base line in
+  if w >= 0 then begin
+    t.tags.(base + w) <- -1;
+    t.dirty.(base + w) <- false;
+    t.stamps.(base + w) <- 0
+  end
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.stamps 0 (Array.length t.stamps) 0
+
+type stats = { hits : int; misses : int; evictions : int; writebacks : int }
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; writebacks = t.writebacks }
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.writebacks <- 0
+
+let pp_stats fmt s =
+  let total = s.hits + s.misses in
+  let ratio = if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total in
+  Format.fprintf fmt "hits %d, misses %d (%.1f%% hit), evictions %d, writebacks %d"
+    s.hits s.misses (100.0 *. ratio) s.evictions s.writebacks

@@ -1,0 +1,58 @@
+(** A single set-associative cache level with LRU replacement.
+
+    Addresses are byte addresses; a cache tracks which lines are resident
+    and their dirty bits, and counts hits / misses / evictions /
+    write-backs.  The cache stores no data — the simulated machine keeps
+    the actual words — it only models residency and cost-relevant events.
+
+    A cache with [sets = 1] is fully associative; this is how the TLB is
+    modelled (line = page). *)
+
+type t
+
+val create :
+  ?name:string -> size_bytes:int -> line_bytes:int -> ways:int -> unit -> t
+(** [create ~size_bytes ~line_bytes ~ways ()] builds a cache of
+    [size_bytes / line_bytes] lines grouped into
+    [size / (line * ways)] sets.  [size_bytes] must be a multiple of
+    [line_bytes * ways], and [line_bytes] and the set count must be powers
+    of two.  *)
+
+val name : t -> string
+val size_bytes : t -> int
+val line_bytes : t -> int
+val ways : t -> int
+val sets : t -> int
+val lines : t -> int
+(** Total number of lines ([size / line]). *)
+
+val line_of_addr : t -> int -> int
+(** Line number containing a byte address. *)
+
+val access : t -> addr:int -> write:bool -> bool
+(** [access t ~addr ~write] probes the set for [addr]: on a hit, refreshes
+    LRU state (and the dirty bit if [write]) and returns [true]; on a miss
+    returns [false] {e without} allocating — pair with {!fill}. *)
+
+val fill : t -> addr:int -> write:bool -> bool
+(** Allocate the line containing [addr], evicting the set's LRU line if
+    needed.  Returns [true] when the eviction wrote back a dirty line. *)
+
+val resident : t -> addr:int -> bool
+(** Residency check without touching LRU state or statistics. *)
+
+val invalidate : t -> addr:int -> unit
+(** Drop the line containing [addr] if resident (models coherent DMA:
+    the NIC writing to memory invalidates stale cached copies).  A dirty
+    line is discarded without write-back — the DMA data supersedes it. *)
+
+val flush : t -> unit
+(** Invalidate every line (statistics are kept). *)
+
+(** {2 Statistics} *)
+
+type stats = { hits : int; misses : int; evictions : int; writebacks : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

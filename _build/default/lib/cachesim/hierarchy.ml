@@ -1,0 +1,184 @@
+type t = {
+  p : Mem_params.t;
+  l1c : Cache.t;
+  l2c : Cache.t;
+  tlb : Cache.t option;
+  pf : Prefetcher.t;
+  mutable accesses : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable seq_misses : int;
+  mutable rand_misses : int;
+  mutable tlb_misses : int;
+  mutable writebacks : int;
+  mutable cost_ns : float;
+}
+
+let create (p : Mem_params.t) =
+  let l1c =
+    Cache.create ~name:"L1" ~size_bytes:p.l1_size ~line_bytes:p.l1_line
+      ~ways:p.l1_ways ()
+  in
+  let l2c =
+    Cache.create ~name:"L2" ~size_bytes:p.l2_size ~line_bytes:p.l2_line
+      ~ways:p.l2_ways ()
+  in
+  let tlb =
+    if p.tlb_entries > 0 then
+      Some
+        (Cache.create ~name:"TLB"
+           ~size_bytes:(p.tlb_entries * p.page_bytes)
+           ~line_bytes:p.page_bytes ~ways:p.tlb_entries ())
+    else None
+  in
+  {
+    p;
+    l1c;
+    l2c;
+    tlb;
+    pf = Prefetcher.create ();
+    accesses = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    seq_misses = 0;
+    rand_misses = 0;
+    tlb_misses = 0;
+    writebacks = 0;
+    cost_ns = 0.0;
+  }
+
+let params t = t.p
+let l1 t = t.l1c
+let l2 t = t.l2c
+
+let access t ~addr ~write =
+  t.accesses <- t.accesses + 1;
+  let cost = ref 0.0 in
+  (match t.tlb with
+  | Some tlb ->
+      if not (Cache.access tlb ~addr ~write:false) then begin
+        ignore (Cache.fill tlb ~addr ~write:false);
+        t.tlb_misses <- t.tlb_misses + 1;
+        cost := !cost +. t.p.tlb_penalty_ns
+      end
+  | None -> ());
+  if Cache.access t.l1c ~addr ~write then begin
+    t.l1_hits <- t.l1_hits + 1;
+    cost := !cost +. t.p.l1_hit_ns
+  end
+  else if Cache.access t.l2c ~addr ~write then begin
+    t.l2_hits <- t.l2_hits + 1;
+    cost := !cost +. t.p.b1_penalty_ns;
+    ignore (Cache.fill t.l1c ~addr ~write)
+  end
+  else begin
+    let line = Cache.line_of_addr t.l2c addr in
+    let line_cost = float_of_int t.p.l2_line /. t.p.mem_seq_bw in
+    if Prefetcher.note_miss t.pf ~line then begin
+      t.seq_misses <- t.seq_misses + 1;
+      cost := !cost +. line_cost
+    end
+    else begin
+      t.rand_misses <- t.rand_misses + 1;
+      cost := !cost +. t.p.b2_penalty_ns
+    end;
+    if Cache.fill t.l2c ~addr ~write then begin
+      t.writebacks <- t.writebacks + 1;
+      cost := !cost +. line_cost
+    end;
+    ignore (Cache.fill t.l1c ~addr ~write)
+  end;
+  t.cost_ns <- t.cost_ns +. !cost;
+  !cost
+
+let flush t =
+  Cache.flush t.l1c;
+  Cache.flush t.l2c;
+  (match t.tlb with Some tlb -> Cache.flush tlb | None -> ());
+  Prefetcher.reset t.pf
+
+let invalidate_range t ~addr ~bytes =
+  if bytes > 0 then begin
+    let invalidate_in c =
+      let line = Cache.line_bytes c in
+      let first = addr / line and last = (addr + bytes - 1) / line in
+      for l = first to last do
+        Cache.invalidate c ~addr:(l * line)
+      done
+    in
+    invalidate_in t.l1c;
+    invalidate_in t.l2c
+  end
+
+type stats = {
+  accesses : int;
+  l1_hits : int;
+  l2_hits : int;
+  seq_misses : int;
+  rand_misses : int;
+  tlb_misses : int;
+  writebacks : int;
+  cost_ns : float;
+}
+
+let stats (t : t) =
+  {
+    accesses = t.accesses;
+    l1_hits = t.l1_hits;
+    l2_hits = t.l2_hits;
+    seq_misses = t.seq_misses;
+    rand_misses = t.rand_misses;
+    tlb_misses = t.tlb_misses;
+    writebacks = t.writebacks;
+    cost_ns = t.cost_ns;
+  }
+
+let reset_stats (t : t) =
+  t.accesses <- 0;
+  t.l1_hits <- 0;
+  t.l2_hits <- 0;
+  t.seq_misses <- 0;
+  t.rand_misses <- 0;
+  t.tlb_misses <- 0;
+  t.writebacks <- 0;
+  t.cost_ns <- 0.0
+
+let zero_stats =
+  {
+    accesses = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    seq_misses = 0;
+    rand_misses = 0;
+    tlb_misses = 0;
+    writebacks = 0;
+    cost_ns = 0.0;
+  }
+
+let add_stats a b =
+  {
+    accesses = a.accesses + b.accesses;
+    l1_hits = a.l1_hits + b.l1_hits;
+    l2_hits = a.l2_hits + b.l2_hits;
+    seq_misses = a.seq_misses + b.seq_misses;
+    rand_misses = a.rand_misses + b.rand_misses;
+    tlb_misses = a.tlb_misses + b.tlb_misses;
+    writebacks = a.writebacks + b.writebacks;
+    cost_ns = a.cost_ns +. b.cost_ns;
+  }
+
+let pp_stats fmt s =
+  let pct part whole =
+    if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+  in
+  Format.fprintf fmt
+    "@[<v>accesses     %d@,\
+     L1 hits      %d (%.1f%%)@,\
+     L2 hits      %d@,\
+     seq misses   %d@,\
+     rand misses  %d@,\
+     TLB misses   %d@,\
+     writebacks   %d@,\
+     mem cost     %a@]"
+    s.accesses s.l1_hits (pct s.l1_hits s.accesses) s.l2_hits s.seq_misses
+    s.rand_misses s.tlb_misses s.writebacks Simcore.Simtime.pp s.cost_ns

@@ -1,0 +1,59 @@
+(** Two-level cache hierarchy with TLB and stream prefetcher.
+
+    This is the per-node memory system of the simulated machine.  Each
+    {!access} classifies one word reference and returns its cost in
+    nanoseconds:
+
+    - TLB miss: [+ tlb_penalty_ns] (and the page is installed);
+    - L1 hit: [+ l1_hit_ns] (0 by default — folded into CPU cost, as the
+      paper does);
+    - L1 miss, L2 hit: [+ b1_penalty_ns];
+    - L2 miss classified sequential by the {!Prefetcher}:
+      [+ l2_line / mem_seq_bw] (bandwidth-bound streaming, W1);
+    - L2 miss classified random: [+ b2_penalty_ns] (latency-bound);
+    - evicting a dirty L2 line additionally costs [l2_line / mem_seq_bw]
+      (write-back traffic).
+
+    Misses allocate in both levels (write-allocate).  The caches only track
+    residency; data lives in the machine's word array. *)
+
+type t
+
+val create : Mem_params.t -> t
+val params : t -> Mem_params.t
+
+val access : t -> addr:int -> write:bool -> float
+(** Cost in ns of referencing the word at byte address [addr]. *)
+
+val flush : t -> unit
+(** Cold caches and TLB; statistics are kept. *)
+
+val invalidate_range : t -> addr:int -> bytes:int -> unit
+(** Invalidate every L1/L2 line overlapping [\[addr, addr+bytes)] —
+    coherent-DMA semantics for incoming network buffers.  The TLB is
+    unaffected. *)
+
+val l1 : t -> Cache.t
+val l2 : t -> Cache.t
+
+(** {2 Statistics} *)
+
+type stats = {
+  accesses : int;
+  l1_hits : int;
+  l2_hits : int;  (** L1 misses that hit in L2. *)
+  seq_misses : int;  (** L2 misses served at streaming bandwidth. *)
+  rand_misses : int;  (** L2 misses paying the full B2 penalty. *)
+  tlb_misses : int;
+  writebacks : int;  (** Dirty L2 evictions. *)
+  cost_ns : float;  (** Total memory-access cost charged. *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> stats -> unit
+
+val add_stats : stats -> stats -> stats
+(** Pointwise sum, for aggregating over the nodes of a cluster. *)
+
+val zero_stats : stats

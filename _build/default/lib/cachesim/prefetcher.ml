@@ -1,0 +1,35 @@
+type t = {
+  last_lines : int array; (* last line observed per stream; -2 = idle *)
+  mutable victim : int; (* round-robin replacement cursor *)
+  mutable seq : int;
+  mutable rand : int;
+}
+
+let create ?(streams = 16) () =
+  if streams < 1 then invalid_arg "Prefetcher.create: streams must be >= 1";
+  { last_lines = Array.make streams (-2); victim = 0; seq = 0; rand = 0 }
+
+let note_miss t ~line =
+  let n = Array.length t.last_lines in
+  let rec find i =
+    if i = n then -1 else if t.last_lines.(i) = line - 1 then i else find (i + 1)
+  in
+  match find 0 with
+  | i when i >= 0 ->
+      t.last_lines.(i) <- line;
+      t.seq <- t.seq + 1;
+      true
+  | _ ->
+      t.last_lines.(t.victim) <- line;
+      t.victim <- (t.victim + 1) mod n;
+      t.rand <- t.rand + 1;
+      false
+
+let reset t =
+  Array.fill t.last_lines 0 (Array.length t.last_lines) (-2);
+  t.victim <- 0;
+  t.seq <- 0;
+  t.rand <- 0
+
+let sequential_hits t = t.seq
+let random_misses t = t.rand

@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Array Cachesim Index List Machine Method_c_hier Methods Model Netsim Printf Prng Report Run_result Runner Simcore Workload

@@ -1,0 +1,1 @@
+lib/core/calibrate.ml: Array Cachesim Engine Index Machine Netsim Printf Prng Report Simcore Simtime

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Buffer Cachesim Calibrate Engine Float Index List Machine Methods Model Printf Report Run_result Runner Simcore Workload

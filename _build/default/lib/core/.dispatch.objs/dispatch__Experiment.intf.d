@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Methods Model Report Run_result Workload

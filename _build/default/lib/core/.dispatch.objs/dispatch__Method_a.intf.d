@@ -1,0 +1,1 @@
+lib/core/method_a.mli: Run_result Workload

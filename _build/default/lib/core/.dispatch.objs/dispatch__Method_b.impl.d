@@ -1,0 +1,1 @@
+lib/core/method_b.ml: Array Cachesim Engine Index Latency Machine Methods Run_result Simcore Workload

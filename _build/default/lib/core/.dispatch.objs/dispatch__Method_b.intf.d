@@ -1,0 +1,1 @@
+lib/core/method_b.mli: Run_result Workload

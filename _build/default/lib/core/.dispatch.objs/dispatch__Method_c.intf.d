@@ -1,0 +1,1 @@
+lib/core/method_c.mli: Methods Run_result Workload

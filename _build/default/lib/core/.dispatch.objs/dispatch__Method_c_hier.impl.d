@@ -1,0 +1,1 @@
+lib/core/method_c_hier.ml: Array Cachesim Engine Hashtbl Index Latency Machine Netsim Partition Printf Proto Run_result Simcore Slave_node Workload

@@ -1,0 +1,1 @@
+lib/core/method_c_hier.mli: Methods Run_result Workload

@@ -1,0 +1,1 @@
+lib/core/methods.ml: Format String

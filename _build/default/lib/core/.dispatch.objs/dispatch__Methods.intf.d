@@ -1,0 +1,1 @@
+lib/core/methods.mli: Format

@@ -1,0 +1,1 @@
+lib/core/run_result.ml: Cachesim Format Methods Printf Simcore

@@ -1,0 +1,1 @@
+lib/core/run_result.mli: Cachesim Format Methods

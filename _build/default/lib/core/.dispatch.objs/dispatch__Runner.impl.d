@@ -1,0 +1,1 @@
+lib/core/runner.ml: Method_a Method_b Method_c Methods Prng Workload

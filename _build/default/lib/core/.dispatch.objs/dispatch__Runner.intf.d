@@ -1,0 +1,1 @@
+lib/core/runner.mli: Methods Run_result Workload

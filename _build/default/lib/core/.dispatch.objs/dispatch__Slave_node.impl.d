@@ -1,0 +1,1 @@
+lib/core/slave_node.ml: Array Cachesim Engine Index Machine Methods Netsim Printf Proto Simcore

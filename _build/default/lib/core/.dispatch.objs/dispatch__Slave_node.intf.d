@@ -1,0 +1,1 @@
+lib/core/slave_node.mli: Cachesim Machine Methods Netsim Proto Simcore

@@ -1,0 +1,259 @@
+let default_scenario () = Workload.Scenario.scaled
+let kib n = n * 1024
+
+let batch_overhead ?scenario ?(batches = [ kib 8; kib 32; kib 128; kib 512; kib 2048; kib 4096 ]) () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let keys, queries = Runner.workload sc in
+  let tbl =
+    Report.Table.create
+      ~headers:[ "Batch"; "C-3 ns/key"; "slave idle"; "master busy"; "messages" ]
+  in
+  List.iter
+    (fun batch ->
+      let sc = Workload.Scenario.with_batch sc batch in
+      let r = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
+      Report.Table.add_row tbl
+        [
+          Printf.sprintf "%d KB" (batch / 1024);
+          Report.Table.cell_f r.Run_result.per_key_ns;
+          Report.Table.cell_pct r.Run_result.slave_idle;
+          Report.Table.cell_pct r.Run_result.master_busy;
+          string_of_int r.Run_result.messages;
+        ])
+    batches;
+  tbl
+
+let network ?scenario ?profiles () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let profiles =
+    match profiles with
+    | Some p -> p
+    | None ->
+        [ Netsim.Profile.myrinet; Netsim.Profile.gigabit_ethernet;
+          Netsim.Profile.fast_ethernet ]
+  in
+  let keys, queries = Runner.workload sc in
+  let batches = [ kib 8; kib 64; kib 256; kib 1024 ] in
+  let headers =
+    "Network"
+    :: List.map (fun b -> Printf.sprintf "%d KB ns/key" (b / 1024)) batches
+  in
+  let tbl = Report.Table.create ~headers in
+  List.iter
+    (fun profile ->
+      let cells =
+        List.map
+          (fun batch ->
+            let sc =
+              { (Workload.Scenario.with_batch sc batch) with Workload.Scenario.net = profile }
+            in
+            let r = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
+            Report.Table.cell_f r.Run_result.per_key_ns)
+          batches
+      in
+      Report.Table.add_row tbl (profile.Netsim.Profile.name :: cells))
+    profiles;
+  tbl
+
+let skew ?scenario ?(exponents = [ 0.0; 0.5; 1.0 ]) () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let g = Prng.Splitmix.create (sc.Workload.Scenario.seed + 17) in
+  let keys = Workload.Keygen.index_keys (Prng.Splitmix.split g) ~n:sc.Workload.Scenario.n_keys in
+  let tbl =
+    Report.Table.create
+      ~headers:[ "Zipf s"; "C-3 ns/key"; "slave idle"; "B ns/key" ]
+  in
+  List.iter
+    (fun s ->
+      let gq = Prng.Splitmix.split g in
+      let queries =
+        if s = 0.0 then
+          Workload.Keygen.uniform_queries gq ~n:sc.Workload.Scenario.n_queries
+        else
+          Workload.Keygen.zipf_queries gq ~keys ~n:sc.Workload.Scenario.n_queries ~s
+      in
+      let rc = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
+      let rb = Runner.run sc ~method_id:Methods.B ~keys ~queries in
+      Report.Table.add_row tbl
+        [
+          Printf.sprintf "%.1f" s;
+          Report.Table.cell_f rc.Run_result.per_key_ns;
+          Report.Table.cell_pct rc.Run_result.slave_idle;
+          Report.Table.cell_f rb.Run_result.per_key_ns;
+        ])
+    exponents;
+  tbl
+
+let masters ?scenario ?(counts = [ 1; 2; 4 ]) () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let n_slaves = sc.Workload.Scenario.n_nodes - sc.Workload.Scenario.n_masters in
+  let slave_keys = (sc.Workload.Scenario.n_keys + n_slaves - 1) / n_slaves in
+  let keys, queries = Runner.workload sc in
+  let tbl =
+    Report.Table.create
+      ~headers:
+        [
+          "Masters"; "C-3 ns/key (sim)"; "master busy"; "slave idle";
+          "model ns/key"; "NIC floor ns/key";
+        ]
+  in
+  List.iter
+    (fun n_masters ->
+      (* Keep the slave pool fixed; masters are additional nodes. *)
+      let sc =
+        {
+          sc with
+          Workload.Scenario.n_masters;
+          Workload.Scenario.n_nodes = n_slaves + n_masters;
+        }
+      in
+      let r = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
+      let pred =
+        Model.Predict.method_c3 sc.Workload.Scenario.params
+          sc.Workload.Scenario.net ~slave_keys ~n_masters ~n_slaves
+      in
+      Report.Table.add_row tbl
+        [
+          string_of_int n_masters;
+          Report.Table.cell_f r.Run_result.per_key_ns;
+          Report.Table.cell_pct r.Run_result.master_busy;
+          Report.Table.cell_pct r.Run_result.slave_idle;
+          Report.Table.cell_f pred;
+          Report.Table.cell_f
+            (Model.Predict.master_bound_ns sc.Workload.Scenario.net ~n_masters);
+        ])
+    counts;
+  tbl
+
+let line_size ?scenario () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let tbl =
+    Report.Table.create
+      ~headers:[ "Machine"; "A ns/key"; "C-3 ns/key"; "A / C-3" ]
+  in
+  List.iter
+    (fun params ->
+      let sc = { sc with Workload.Scenario.params } in
+      let keys, queries = Runner.workload sc in
+      let ra = Runner.run sc ~method_id:Methods.A ~keys ~queries in
+      let rc = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
+      Report.Table.add_row tbl
+        [
+          params.Cachesim.Mem_params.name;
+          Report.Table.cell_f ra.Run_result.per_key_ns;
+          Report.Table.cell_f rc.Run_result.per_key_ns;
+          Report.Table.cell_f
+            (ra.Run_result.per_key_ns /. rc.Run_result.per_key_ns);
+        ])
+    [ Cachesim.Mem_params.pentium3; Cachesim.Mem_params.pentium4 ];
+  tbl
+
+let hierarchy ?scenario () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let keys, queries = Runner.workload sc in
+  let tbl =
+    Report.Table.create
+      ~headers:
+        [
+          "Topology"; "nodes"; "ns/key"; "mean resp"; "master busy";
+          "slave idle"; "errors";
+        ]
+  in
+  let add label nodes (r : Run_result.t) =
+    Report.Table.add_row tbl
+      [
+        label;
+        string_of_int nodes;
+        Report.Table.cell_f r.Run_result.per_key_ns;
+        Simcore.Simtime.to_string r.Run_result.mean_response_ns;
+        Report.Table.cell_pct r.Run_result.master_busy;
+        Report.Table.cell_pct r.Run_result.slave_idle;
+        Report.Table.cell_i r.Run_result.validation_errors;
+      ]
+  in
+  let n_slaves = sc.Workload.Scenario.n_nodes - 1 in
+  (* Same slave pool everywhere; the dispatch tier varies. *)
+  let flat = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
+  add "flat (1 master)" sc.Workload.Scenario.n_nodes flat;
+  let mm =
+    Runner.run
+      { sc with Workload.Scenario.n_masters = 3; n_nodes = n_slaves + 3 }
+      ~method_id:Methods.C3 ~keys ~queries
+  in
+  add "3 masters" (n_slaves + 3) mm;
+  List.iter
+    (fun routers ->
+      let sc = { sc with Workload.Scenario.n_nodes = 1 + routers + n_slaves } in
+      let r =
+        Method_c_hier.run sc ~routers ~variant:Methods.C3 ~keys ~queries ()
+      in
+      add (Printf.sprintf "tree (%d routers)" routers) (1 + routers + n_slaves) r)
+    [ 2; 3 ];
+  tbl
+
+let structures ?scenario () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let p = sc.Workload.Scenario.params in
+  let g = Prng.Splitmix.create (sc.Workload.Scenario.seed + 31) in
+  let measure n_keys =
+    let keys = Workload.Keygen.index_keys (Prng.Splitmix.copy g) ~n:n_keys in
+    let queries =
+      Workload.Keygen.uniform_queries (Prng.Splitmix.copy g) ~n:20_000
+    in
+    let with_machine build search =
+      let m = Machine.create (Simcore.Engine.create ()) ~name:"bench" p in
+      let idx = build m keys in
+      (* Warm pass then measured pass: steady-state per-lookup cost. *)
+      Array.iter (fun q -> ignore (search idx q)) queries;
+      let before = Machine.busy_ns m in
+      Array.iter (fun q -> ignore (search idx q)) queries;
+      (Machine.busy_ns m -. before) /. float_of_int (Array.length queries)
+    in
+    [
+      ("sorted array", with_machine Index.Sorted_array.build Index.Sorted_array.search);
+      ("eytzinger", with_machine Index.Eytzinger.build Index.Eytzinger.search);
+      ("csb+ tree", with_machine (Index.Csb_tree.build ?node_words:None) Index.Csb_tree.search);
+      ("nary tree", with_machine (Index.Nary_tree.build ?keys_per_node:None) Index.Nary_tree.search);
+    ]
+  in
+  let n_slaves = max 1 (sc.Workload.Scenario.n_nodes - sc.Workload.Scenario.n_masters) in
+  let partition_keys = max 2 (sc.Workload.Scenario.n_keys / n_slaves) in
+  let resident = measure partition_keys in
+  let full = measure sc.Workload.Scenario.n_keys in
+  let tbl =
+    Report.Table.create
+      ~headers:
+        [
+          "Structure";
+          Printf.sprintf "ns/lookup, %d keys (slave partition)" partition_keys;
+          Printf.sprintf "ns/lookup, %d keys (full index)" sc.Workload.Scenario.n_keys;
+        ]
+  in
+  List.iter2
+    (fun (name, small) (_, big) ->
+      Report.Table.add_row tbl
+        [ name; Report.Table.cell_f small; Report.Table.cell_f big ])
+    resident full;
+  tbl
+
+let slave_structure ?scenario () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let keys, queries = Runner.workload sc in
+  let tbl =
+    Report.Table.create
+      ~headers:
+        [ "Variant"; "ns/key"; "slave idle"; "L2 rand misses"; "L2 seq misses" ]
+  in
+  List.iter
+    (fun method_id ->
+      let r = Runner.run sc ~method_id ~keys ~queries in
+      Report.Table.add_row tbl
+        [
+          Methods.to_string method_id;
+          Report.Table.cell_f r.Run_result.per_key_ns;
+          Report.Table.cell_pct r.Run_result.slave_idle;
+          string_of_int r.Run_result.cache.Cachesim.Hierarchy.rand_misses;
+          string_of_int r.Run_result.cache.Cachesim.Hierarchy.seq_misses;
+        ])
+    [ Methods.C1; Methods.C2; Methods.C3 ];
+  tbl

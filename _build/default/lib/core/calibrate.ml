@@ -1,0 +1,173 @@
+open Simcore
+
+type t = {
+  l2_size : int;
+  l1_size : int;
+  l2_line : int;
+  l1_line : int;
+  b2_penalty_ns : float;
+  b1_penalty_ns : float;
+  tlb_entries : int;
+  comp_cost_node_ns : float;
+  seq_bw_mb_s : float;
+  rand_bw_mb_s : float;
+  net_bw_mb_s : float;
+  net_latency_us : float;
+}
+
+let fresh_machine params =
+  Machine.create (Engine.create ()) ~name:"probe" params
+
+(* Streaming-read bandwidth: one pass over a large contiguous region. *)
+let probe_seq_bw (params : Cachesim.Mem_params.t) =
+  let m = fresh_machine params in
+  let words = 1 lsl 20 in
+  let a = Machine.alloc m words in
+  for i = 0 to words - 1 do
+    ignore (Machine.read m (a + i))
+  done;
+  let bytes = float_of_int (words * params.Cachesim.Mem_params.word_bytes) in
+  Simtime.mb_per_s_of_bytes_per_ns (bytes /. Machine.busy_ns m)
+
+(* Random-read bandwidth: 4-byte reads at random addresses of a region
+   much larger than the L2 (the paper's 48 MB/s probe). *)
+let probe_rand_bw (params : Cachesim.Mem_params.t) =
+  let m = fresh_machine params in
+  let words = 1 lsl 22 in
+  let a = Machine.alloc m words in
+  let g = Prng.Splitmix.create 7 in
+  let accesses = 1 lsl 18 in
+  for _ = 1 to accesses do
+    ignore (Machine.read m (a + Prng.Splitmix.int g words))
+  done;
+  let bytes = float_of_int (accesses * params.Cachesim.Mem_params.word_bytes) in
+  Simtime.mb_per_s_of_bytes_per_ns (bytes /. Machine.busy_ns m)
+
+(* B2: strided reads (2 lines apart, so the stream detector cannot lock
+   on) cycling through a region twice the L2: every access is a random-
+   classified L2 miss; TLB misses amortise over the lines of each page. *)
+let probe_b2 (params : Cachesim.Mem_params.t) =
+  let p = params in
+  let m = fresh_machine p in
+  let stride = 2 * p.Cachesim.Mem_params.l2_line / p.Cachesim.Mem_params.word_bytes in
+  let words = 2 * p.Cachesim.Mem_params.l2_size / p.Cachesim.Mem_params.word_bytes in
+  let a = Machine.alloc m words in
+  let accesses = ref 0 in
+  for _pass = 1 to 2 do
+    let i = ref 0 in
+    while !i < words do
+      ignore (Machine.read m (a + !i));
+      incr accesses;
+      i := !i + stride
+    done
+  done;
+  Machine.busy_ns m /. float_of_int !accesses
+
+(* B1: same strided walk over a region that fits in L2 (but not L1),
+   measured warm: L1 misses served from L2. *)
+let probe_b1 (params : Cachesim.Mem_params.t) =
+  let p = params in
+  let m = fresh_machine p in
+  let stride = 2 * p.Cachesim.Mem_params.l1_line / p.Cachesim.Mem_params.word_bytes in
+  let words = p.Cachesim.Mem_params.l2_size / 2 / p.Cachesim.Mem_params.word_bytes in
+  let a = Machine.alloc m words in
+  let walk () =
+    let count = ref 0 in
+    let i = ref 0 in
+    while !i < words do
+      ignore (Machine.read m (a + !i));
+      incr count;
+      i := !i + stride
+    done;
+    !count
+  in
+  ignore (walk ());
+  (* warm L2 and TLB *)
+  let before = Machine.busy_ns m in
+  let count = walk () in
+  (Machine.busy_ns m -. before) /. float_of_int count
+
+(* Node comparison cost: warm lookups in a tiny, fully cache-resident
+   n-ary tree; with every access an L1 hit, the remaining per-level cost
+   is pure computation. *)
+let probe_comp_node (params : Cachesim.Mem_params.t) =
+  let m = fresh_machine params in
+  let keys = Array.init 1024 (fun i -> 3 * i) in
+  let tree = Index.Nary_tree.build m keys in
+  let g = Prng.Splitmix.create 11 in
+  for _ = 1 to 2048 do
+    ignore (Index.Nary_tree.search tree (Prng.Splitmix.int g 3072))
+  done;
+  let before = Machine.busy_ns m in
+  let runs = 4096 in
+  for _ = 1 to runs do
+    ignore (Index.Nary_tree.search tree (Prng.Splitmix.int g 3072))
+  done;
+  (Machine.busy_ns m -. before)
+  /. float_of_int (runs * Index.Nary_tree.levels tree)
+
+let probe_net (profile : Netsim.Profile.t) =
+  let eng = Engine.create () in
+  let net = Netsim.Network.create eng profile ~nodes:2 in
+  let size = 1 lsl 20 in
+  let n_msgs = 8 in
+  let finish = ref nan in
+  Engine.spawn eng (fun () ->
+      for i = 1 to n_msgs do
+        Netsim.Network.isend net ~src:0 ~dst:1 ~size i
+      done);
+  Engine.spawn eng (fun () ->
+      for _ = 1 to n_msgs do
+        ignore (Netsim.Network.recv net ~dst:1)
+      done;
+      finish := Engine.now eng);
+  Engine.run eng;
+  let bw =
+    Simtime.mb_per_s_of_bytes_per_ns (float_of_int (n_msgs * size) /. !finish)
+  in
+  (* Latency: a zero-byte message. *)
+  let eng = Engine.create () in
+  let net = Netsim.Network.create eng profile ~nodes:2 in
+  let lat = ref nan in
+  Engine.spawn eng (fun () -> Netsim.Network.isend net ~src:0 ~dst:1 ~size:0 0);
+  Engine.spawn eng (fun () ->
+      ignore (Netsim.Network.recv net ~dst:1);
+      lat := Engine.now eng);
+  Engine.run eng;
+  (bw, Simtime.to_us !lat)
+
+let measure (params : Cachesim.Mem_params.t) profile =
+  let net_bw, net_lat = probe_net profile in
+  {
+    l2_size = params.Cachesim.Mem_params.l2_size;
+    l1_size = params.Cachesim.Mem_params.l1_size;
+    l2_line = params.Cachesim.Mem_params.l2_line;
+    l1_line = params.Cachesim.Mem_params.l1_line;
+    b2_penalty_ns = probe_b2 params;
+    b1_penalty_ns = probe_b1 params;
+    tlb_entries = params.Cachesim.Mem_params.tlb_entries;
+    comp_cost_node_ns = probe_comp_node params;
+    seq_bw_mb_s = probe_seq_bw params;
+    rand_bw_mb_s = probe_rand_bw params;
+    net_bw_mb_s = net_bw;
+    net_latency_us = net_lat;
+  }
+
+let table2 t =
+  let tbl = Report.Table.create ~headers:[ "Parameter"; "Value" ] in
+  Report.Table.add_rows tbl
+    [
+      [ "L2 Cache Size"; Printf.sprintf "%d KB" (t.l2_size / 1024) ];
+      [ "L1 Cache Size"; Printf.sprintf "%d KB" (t.l1_size / 1024) ];
+      [ "L2 Cache line Size"; Printf.sprintf "%d bytes" t.l2_line ];
+      [ "L1 Cache line Size"; Printf.sprintf "%d bytes" t.l1_line ];
+      [ "B2 Miss Penalty"; Printf.sprintf "%.2f ns" t.b2_penalty_ns ];
+      [ "B1 Miss Penalty"; Printf.sprintf "%.2f ns" t.b1_penalty_ns ];
+      [ "TLB Entries"; string_of_int t.tlb_entries ];
+      [ "Comp Cost Node"; Printf.sprintf "%.1f ns" t.comp_cost_node_ns ];
+      [ "W1 (Memory Bandwidth)"; Printf.sprintf "%.0f MB/s" t.seq_bw_mb_s ];
+      [ "W1 random (measured)"; Printf.sprintf "%.0f MB/s" t.rand_bw_mb_s ];
+      [ "W2 (Network Bandwidth)"; Printf.sprintf "%.0f MB/s" t.net_bw_mb_s ];
+      [ "Network latency"; Printf.sprintf "%.1f us" t.net_latency_us ];
+    ];
+  tbl

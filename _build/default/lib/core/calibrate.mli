@@ -1,0 +1,33 @@
+(** Measurement of the simulated machine's environment parameters — the
+    reproduction of the paper's Table 2.
+
+    The paper ran small probe programs on the real cluster to measure
+    memory bandwidth, cache miss penalties and comparison cost, then fed
+    those numbers into the analytical model.  We do the same against the
+    {e simulated} machine: each probe exercises the cache hierarchy the
+    way the original probes exercised the hardware, and we report what it
+    observes.  Agreement with the configured {!Cachesim.Mem_params.t}
+    values validates that the simulator realises the parameters it was
+    given (e.g. that sequential bandwidth emerges from the prefetcher
+    model rather than being charged directly). *)
+
+type t = {
+  l2_size : int;
+  l1_size : int;
+  l2_line : int;
+  l1_line : int;
+  b2_penalty_ns : float;  (** Measured: mean cost of a random L2 miss. *)
+  b1_penalty_ns : float;  (** Measured: mean cost of an L1 miss / L2 hit. *)
+  tlb_entries : int;
+  comp_cost_node_ns : float;
+  seq_bw_mb_s : float;  (** Measured streaming read bandwidth. *)
+  rand_bw_mb_s : float;  (** Measured random 4-byte-read bandwidth. *)
+  net_bw_mb_s : float;  (** Measured one-way network bandwidth. *)
+  net_latency_us : float;
+}
+
+val measure : Cachesim.Mem_params.t -> Netsim.Profile.t -> t
+(** Run the probe suite against a fresh simulated node and network. *)
+
+val table2 : t -> Report.Table.t
+(** Render in the layout of the paper's Table 2. *)

@@ -1,0 +1,343 @@
+open Simcore
+
+let default_scenario () = Workload.Scenario.scaled
+
+let scratch_tree (sc : Workload.Scenario.t) ~keys =
+  let m = Machine.create (Engine.create ()) ~name:"scratch" sc.Workload.Scenario.params in
+  Index.Nary_tree.build m keys
+
+let model_shape sc ~keys =
+  let tree = scratch_tree sc ~keys in
+  let levels = Index.Nary_tree.levels tree in
+  let counts = Array.init levels (fun i -> Index.Nary_tree.level_nodes tree (i + 1)) in
+  let p = sc.Workload.Scenario.params in
+  let node_bytes =
+    Index.Nary_tree.node_words tree * p.Cachesim.Mem_params.word_bytes
+  in
+  Model.Predict.shape_of_counts counts
+    ~lines_per_node:(max 1 (node_bytes / p.Cachesim.Mem_params.l2_line))
+
+let group_height sc ~keys =
+  let tree = scratch_tree sc ~keys in
+  let b = Index.Buffered.create tree in
+  Array.fold_left max 1 (Index.Buffered.group_levels b)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+let table1 ?scenario () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let keys, _ = Runner.workload sc in
+  let p = sc.Workload.Scenario.params in
+  let tree = scratch_tree sc ~keys in
+  let info = Index.Nary_tree.info tree in
+  let buffered = Index.Buffered.create tree in
+  let spans = Index.Buffered.group_levels buffered in
+  let bottom_span = spans.(Array.length spans - 1) in
+  let subtree_bytes =
+    Index.Nary_tree.subtree_nodes tree ~levels:bottom_span
+    * info.Index.Layout_info.node_bytes
+  in
+  let root_span = spans.(0) in
+  let root_subtree_bytes =
+    Index.Nary_tree.subtree_nodes tree ~levels:root_span
+    * info.Index.Layout_info.node_bytes
+  in
+  let n_slaves = sc.Workload.Scenario.n_nodes - 1 in
+  let slave_keys = (sc.Workload.Scenario.n_keys + n_slaves - 1) / n_slaves in
+  let csb =
+    Index.Csb_tree.build
+      (Machine.create (Engine.create ()) ~name:"scratch" p)
+      (Array.init slave_keys (fun i -> 2 * i))
+  in
+  let t = Report.Table.create ~headers:[ "Parameter"; "Value" ] in
+  Report.Table.add_rows t
+    [
+      [ "Number Of Keys On The Sorted Array"; string_of_int sc.Workload.Scenario.n_keys ];
+      [ "Search Key Size"; Printf.sprintf "%d bytes" p.Cachesim.Mem_params.word_bytes ];
+      [ "Index Tree Size";
+        Printf.sprintf "%.2f MB" (float_of_int info.Index.Layout_info.total_bytes /. 1048576.0) ];
+      [ "Subtree Size (except the root subtree) (in B)";
+        Printf.sprintf "%d KB" (subtree_bytes / 1024) ];
+      [ "Root Subtree Size (in B)"; Printf.sprintf "%d bytes" root_subtree_bytes ];
+      [ "T (levels, in A, B)"; string_of_int info.Index.Layout_info.levels ];
+      [ "L (slave levels, in C-1)"; string_of_int (Index.Csb_tree.levels csb) ];
+      [ "Size of Node (in A, B)"; Printf.sprintf "%d bytes" info.Index.Layout_info.node_bytes ];
+      [ "Fanout (in A, B)"; string_of_int info.Index.Layout_info.fanout ];
+      [ "Keys per slave (in C)"; string_of_int slave_keys ];
+    ];
+  t
+
+let table2 ?scenario () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  Calibrate.table2
+    (Calibrate.measure sc.Workload.Scenario.params sc.Workload.Scenario.net)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 *)
+
+type fig3_row = { batch_bytes : int; results : Run_result.t list }
+
+let fig3 ?scenario ?(methods = Methods.all) ?batches () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let batches =
+    match batches with Some b -> b | None -> Workload.Scenario.fig3_batches
+  in
+  let keys, queries = Runner.workload sc in
+  List.map
+    (fun batch_bytes ->
+      let sc = Workload.Scenario.with_batch sc batch_bytes in
+      let results =
+        List.map (fun method_id -> Runner.run sc ~method_id ~keys ~queries) methods
+      in
+      { batch_bytes; results })
+    batches
+
+let glyph_of = function
+  | Methods.A -> 'a'
+  | Methods.B -> 'b'
+  | Methods.C1 -> '1'
+  | Methods.C2 -> '2'
+  | Methods.C3 -> '3'
+
+let render_fig3 ?(paper_queries = 1 lsl 23) ~(scenario : Workload.Scenario.t) rows =
+  let buf = Buffer.create 4096 in
+  let methods =
+    match rows with
+    | [] -> []
+    | r :: _ -> List.map (fun (x : Run_result.t) -> x.Run_result.method_id) r.results
+  in
+  let headers =
+    "Batch"
+    :: List.concat_map
+         (fun m -> [ Methods.to_string m ^ " s/8M"; Methods.to_string m ^ " idle" ])
+         methods
+  in
+  let tbl = Report.Table.create ~headers in
+  List.iter
+    (fun { batch_bytes; results } ->
+      let cells =
+        Printf.sprintf "%d KB" (batch_bytes / 1024)
+        :: List.concat_map
+             (fun (r : Run_result.t) ->
+               [
+                 Printf.sprintf "%.3f" (Run_result.scaled_total_s r ~queries:paper_queries);
+                 Report.Table.cell_pct r.Run_result.slave_idle;
+               ])
+             results
+      in
+      Report.Table.add_row tbl cells)
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Figure 3: search time for %d keys (presented as seconds per %d \
+        lookups), %d nodes\n\n"
+       scenario.Workload.Scenario.n_queries paper_queries
+       scenario.Workload.Scenario.n_nodes);
+  Buffer.add_string buf (Report.Table.render tbl);
+  Buffer.add_char buf '\n';
+  (* The paper's second criterion (§4.1): response time.  Method C
+     reaches its peak throughput at small batches, so its queries wait
+     far less than Method B's. *)
+  let resp = Report.Table.create
+      ~headers:("Batch" :: List.map (fun m -> Methods.to_string m ^ " mean resp") methods)
+  in
+  List.iter
+    (fun { batch_bytes; results } ->
+      Report.Table.add_row resp
+        (Printf.sprintf "%d KB" (batch_bytes / 1024)
+        :: List.map
+             (fun (r : Run_result.t) ->
+               Simcore.Simtime.to_string r.Run_result.mean_response_ns)
+             results))
+    rows;
+  Buffer.add_string buf "\nResponse time (query arrival to result delivery):\n\n";
+  Buffer.add_string buf (Report.Table.render resp);
+  Buffer.add_char buf '\n';
+  let series =
+    List.mapi
+      (fun i m ->
+        {
+          Report.Ascii_plot.label = "method " ^ Methods.to_string m;
+          glyph = glyph_of m;
+          points =
+            Array.of_list
+              (List.map
+                 (fun { batch_bytes; results } ->
+                   let r = List.nth results i in
+                   ( float_of_int batch_bytes,
+                     Run_result.scaled_total_s r ~queries:paper_queries ))
+                 rows);
+        })
+      methods
+  in
+  Buffer.add_string buf
+    (Report.Ascii_plot.render ~logx:true ~x_label:"batch size (bytes)"
+       ~y_label:"search time (s)" series);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 *)
+
+type table3_row = {
+  method_id : Methods.id;
+  predicted_ns : float;
+  simulated_ns : float;
+}
+
+let table3 ?scenario () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let keys, queries = Runner.workload sc in
+  let p = sc.Workload.Scenario.params in
+  let nodes = sc.Workload.Scenario.n_nodes in
+  let n_slaves = nodes - 1 in
+  let shape = model_shape sc ~keys in
+  let batch_keys = Workload.Scenario.queries_per_batch sc in
+  let predictions =
+    [
+      (Methods.A, Model.Predict.method_a p shape ~normalize_nodes:nodes);
+      ( Methods.B,
+        Model.Predict.method_b p shape
+          ~group_levels:(group_height sc ~keys)
+          ~batch_keys ~normalize_nodes:nodes );
+      ( Methods.C3,
+        Model.Predict.method_c3 p sc.Workload.Scenario.net
+          ~slave_keys:((Array.length keys + n_slaves - 1) / n_slaves)
+          ~n_masters:1 ~n_slaves );
+    ]
+  in
+  List.map
+    (fun (method_id, predicted_ns) ->
+      let r = Runner.run sc ~method_id ~keys ~queries in
+      { method_id; predicted_ns; simulated_ns = r.Run_result.per_key_ns })
+    predictions
+
+let render_table3 ?(paper_queries = 1 lsl 23) ~(scenario : Workload.Scenario.t)
+    rows =
+  let tbl =
+    Report.Table.create
+      ~headers:
+        [ "Strategy"; "predicted time"; "simulated time"; "accuracy" ]
+  in
+  List.iter
+    (fun { method_id; predicted_ns; simulated_ns } ->
+      let seconds ns = ns *. float_of_int paper_queries /. 1e9 in
+      let accuracy =
+        1.0 -. (Float.abs (predicted_ns -. simulated_ns) /. simulated_ns)
+      in
+      Report.Table.add_row tbl
+        [
+          "Method " ^ Methods.to_string method_id;
+          Printf.sprintf "%.2f s" (seconds predicted_ns);
+          Printf.sprintf "%.2f s" (seconds simulated_ns);
+          Report.Table.cell_pct accuracy;
+        ])
+    rows;
+  Printf.sprintf
+    "Table 3: normalized predicted and simulated running time for %d keys\n\
+     (batch %d KB, %d nodes)\n\n%s"
+    paper_queries
+    (scenario.Workload.Scenario.batch_bytes / 1024)
+    scenario.Workload.Scenario.n_nodes (Report.Table.render tbl)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 *)
+
+type fig4_row = {
+  year : int;
+  a_ns : float;
+  b_ns : float;
+  c3_ns : float;
+  c3_mm_ns : float;
+}
+
+let fig4 ?scenario ?(years = 5) () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  let keys, _ = Runner.workload sc in
+  let nodes = sc.Workload.Scenario.n_nodes in
+  let n_slaves = nodes - 1 in
+  let shape = model_shape sc ~keys in
+  let group_levels = group_height sc ~keys in
+  let batch_keys = Workload.Scenario.queries_per_batch sc in
+  let slave_keys = (Array.length keys + n_slaves - 1) / n_slaves in
+  List.init (years + 1) (fun year ->
+      let y = float_of_int year in
+      let p = Model.Trends.scale_mem sc.Workload.Scenario.params ~years:y in
+      let net = Model.Trends.scale_net sc.Workload.Scenario.net ~years:y in
+      {
+        year;
+        a_ns = Model.Predict.method_a p shape ~normalize_nodes:nodes;
+        b_ns =
+          Model.Predict.method_b p shape ~group_levels ~batch_keys
+            ~normalize_nodes:nodes;
+        c3_ns =
+          Model.Predict.method_c3 p net ~slave_keys ~n_masters:1 ~n_slaves;
+        (* Enough masters that dispatch never governs: the paper's
+           assumption of unlimited aggregate network bandwidth. *)
+        c3_mm_ns =
+          Model.Predict.method_c3 p net ~slave_keys ~n_masters:n_slaves
+            ~n_slaves;
+      })
+
+let timeline ?scenario ?(method_id = Methods.C3) () =
+  let sc = match scenario with Some s -> s | None -> default_scenario () in
+  (* A short slice keeps the chart readable: ~6 batches worth or 32k
+     queries, whichever is larger. *)
+  let n_queries =
+    min sc.Workload.Scenario.n_queries
+      (max (1 lsl 15) (6 * Workload.Scenario.queries_per_batch sc))
+  in
+  let sc = { sc with Workload.Scenario.n_queries } in
+  let keys, queries = Runner.workload sc in
+  let tr = Simcore.Trace.create () in
+  let r =
+    Simcore.Trace.with_recording tr (fun () ->
+        Runner.run sc ~method_id ~keys ~queries)
+  in
+  Printf.sprintf
+    "Method %s, %d queries, batch %d KB (%d messages, %.1f ns/key):\n\n%s"
+    (Methods.to_string method_id) n_queries
+    (sc.Workload.Scenario.batch_bytes / 1024)
+    r.Run_result.messages r.Run_result.per_key_ns
+    (Simcore.Trace.render_gantt tr)
+
+let render_fig4 rows =
+  let tbl =
+    Report.Table.create
+      ~headers:
+        [
+          "Year"; "A ns/key"; "B ns/key"; "C-3 ns/key"; "C-3 multi-master";
+          "B / C-3(mm)";
+        ]
+  in
+  List.iter
+    (fun { year; a_ns; b_ns; c3_ns; c3_mm_ns } ->
+      Report.Table.add_row tbl
+        [
+          string_of_int year;
+          Report.Table.cell_f a_ns;
+          Report.Table.cell_f b_ns;
+          Report.Table.cell_f c3_ns;
+          Report.Table.cell_f c3_mm_ns;
+          Report.Table.cell_f (b_ns /. c3_mm_ns);
+        ])
+    rows;
+  let series name glyph f =
+    {
+      Report.Ascii_plot.label = name;
+      glyph;
+      points =
+        Array.of_list (List.map (fun r -> (float_of_int r.year, f r)) rows);
+    }
+  in
+  "Figure 4: future trends based on the analytical model (average query \
+   time per key)\n\n"
+  ^ Report.Table.render tbl
+  ^ "\n"
+  ^ Report.Ascii_plot.render ~x_label:"year" ~y_label:"ns per key" ~y_min:0.0
+      [
+        series "method A" 'a' (fun r -> r.a_ns);
+        series "method B" 'b' (fun r -> r.b_ns);
+        series "method C-3 (1 master)" '3' (fun r -> r.c3_ns);
+        series "method C-3 (multi-master)" 'm' (fun r -> r.c3_mm_ns);
+      ]

@@ -1,0 +1,89 @@
+(** Drivers that regenerate each table and figure of the paper's
+    evaluation (Section 4), plus rendering to text.
+
+    Each driver takes a {!Workload.Scenario.t} (defaulting to
+    {!Workload.Scenario.scaled}) and returns structured results; [render_*]
+    functions produce the terminal artefact.  Methods A and B results are
+    normalized by the cluster size exactly as in the paper. *)
+
+(** {2 Table 1 — index structure setup} *)
+
+val table1 : ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
+
+(** {2 Table 2 — measured machine parameters} *)
+
+val table2 : ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
+
+(** {2 Figure 3 — search time vs batch size for all five methods} *)
+
+type fig3_row = { batch_bytes : int; results : Run_result.t list }
+
+val fig3 :
+  ?scenario:Workload.Scenario.t ->
+  ?methods:Methods.id list ->
+  ?batches:int list ->
+  unit ->
+  fig3_row list
+(** Runs every method at every batch size on one shared workload.
+    Defaults: all five methods over the paper's 8 KB - 4 MB sweep. *)
+
+val render_fig3 :
+  ?paper_queries:int -> scenario:Workload.Scenario.t -> fig3_row list -> string
+(** Table plus ASCII plot.  Times are also re-expressed as seconds for
+    [paper_queries] lookups (default 2^23) so the y-axis is comparable to
+    the paper's Figure 3 regardless of the simulated query count. *)
+
+(** {2 Table 3 — analytical model vs simulation} *)
+
+type table3_row = {
+  method_id : Methods.id;
+  predicted_ns : float;  (** Model, per key, normalized. *)
+  simulated_ns : float;  (** Simulator, per key, normalized. *)
+}
+
+val table3 :
+  ?scenario:Workload.Scenario.t -> unit -> table3_row list
+(** Methods A, B and C-3 at the scenario batch size (paper: 128 KB). *)
+
+val render_table3 :
+  ?paper_queries:int -> scenario:Workload.Scenario.t -> table3_row list -> string
+
+(** {2 Figure 4 — future technology trends} *)
+
+type fig4_row = {
+  year : int;
+  a_ns : float;
+  b_ns : float;
+  c3_ns : float;  (** C-3 with a single master node. *)
+  c3_mm_ns : float;
+      (** C-3 under the paper's model assumptions A.2.3(1)/(3.2 remark):
+          unlimited aggregate network and replicated masters, so the
+          slave side alone governs.  This is the curve whose divergence
+          from B the paper's Figure 4 argues; the single-master curve
+          saturates at the master NIC floor instead. *)
+}
+
+val fig4 :
+  ?scenario:Workload.Scenario.t -> ?years:int -> unit -> fig4_row list
+(** Years 0..[years] (default 5), scaling parameters per Section 4.2. *)
+
+val render_fig4 : fig4_row list -> string
+
+(** {2 Timeline} *)
+
+val timeline :
+  ?scenario:Workload.Scenario.t -> ?method_id:Methods.id -> unit -> string
+(** Run one (query-trimmed) simulation with span tracing enabled and
+    render a Gantt chart of per-node CPU busy time — the visual twin of
+    the paper's slave-idle observations in §4.1. *)
+
+(** {2 Shared plumbing} *)
+
+val model_shape :
+  Workload.Scenario.t -> keys:int array -> Model.Predict.tree_shape
+(** Tree shape (per-level node counts) of the Method A/B index for the
+    analytical model, from an actual layout. *)
+
+val group_height : Workload.Scenario.t -> keys:int array -> int
+(** Height of Method B's cache-resident subtree groups, from the actual
+    {!Index.Buffered} plan. *)

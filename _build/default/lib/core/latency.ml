@@ -1,0 +1,72 @@
+type t = {
+  stride : int;
+  mutable sum : float;
+  mutable n : int;
+  mutable max_v : float;
+  mutable samples : float array;
+  mutable n_samples : int;
+  mutable tick : int;
+}
+
+let create ?(sample_stride = 16) () =
+  if sample_stride < 1 then invalid_arg "Latency.create: bad stride";
+  {
+    stride = sample_stride;
+    sum = 0.0;
+    n = 0;
+    max_v = 0.0;
+    samples = Array.make 256 0.0;
+    n_samples = 0;
+    tick = 0;
+  }
+
+let push_sample t v =
+  if t.n_samples = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.n_samples) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.n_samples;
+    t.samples <- bigger
+  end;
+  t.samples.(t.n_samples) <- v;
+  t.n_samples <- t.n_samples + 1
+
+let add t v =
+  t.sum <- t.sum +. v;
+  t.n <- t.n + 1;
+  if v > t.max_v then t.max_v <- v;
+  t.tick <- t.tick + 1;
+  if t.tick >= t.stride then begin
+    t.tick <- 0;
+    push_sample t v
+  end
+
+let add_many t v k =
+  if k > 0 then begin
+    t.sum <- t.sum +. (v *. float_of_int k);
+    t.n <- t.n + k;
+    if v > t.max_v then t.max_v <- v;
+    t.tick <- t.tick + k;
+    if t.tick >= t.stride then begin
+      (* Keep the reservoir's density: one sample per stride crossed. *)
+      let crossings = t.tick / t.stride in
+      t.tick <- t.tick mod t.stride;
+      for _ = 1 to crossings do
+        push_sample t v
+      done
+    end
+  end
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+let max_seen t = t.max_v
+
+let percentile t p =
+  if t.n_samples = 0 then 0.0
+  else begin
+    if p < 0.0 || p > 1.0 then invalid_arg "Latency.percentile: p outside [0,1]";
+    let sorted = Array.sub t.samples 0 t.n_samples in
+    Array.sort compare sorted;
+    let idx =
+      int_of_float (Float.round (p *. float_of_int (t.n_samples - 1)))
+    in
+    sorted.(idx)
+  end

@@ -1,0 +1,14 @@
+(** Method A — the baseline: the n-ary tree index replicated on every
+    node, each query answered by an individual tree traversal that takes a
+    cache miss per uncached level (Section 3, Section A.2.1).
+
+    As in the paper's Figure 3 protocol, the run simulates one node
+    processing the whole query stream and divides the time by the cluster
+    size: the dispatcher and load balancing are charged nothing, which
+    "gives the benefit of the doubt" to Method A. *)
+
+val run :
+  Workload.Scenario.t -> keys:int array -> queries:int array -> Run_result.t
+(** Build the replicated index over [keys], run all [queries] through one
+    simulated node, validate every result against the reference
+    implementation, and normalize by [n_nodes]. *)

@@ -1,0 +1,12 @@
+(** Method B — replicated index with the Zhou-Ross buffering access
+    technique (Section 3.1): queries are processed in batches, pushed
+    through L2-cache-sized subtrees via intermediate buffers, so each
+    subtree is traversed while cache-resident.
+
+    Like {!Method_a}, the simulation runs one node over the whole stream
+    and normalizes by the cluster size; the batch size of the scenario
+    determines how many queries are pushed through the subtree pipeline at
+    a time (Figure 3's x-axis). *)
+
+val run :
+  Workload.Scenario.t -> keys:int array -> queries:int array -> Run_result.t

@@ -1,0 +1,34 @@
+(** Method C — the paper's contribution: a single index {e distributed
+    over the CPU caches} of the cluster (Sections 2 and 3.2).
+
+    One master node owns a small sorted array of partition delimiters;
+    each slave holds one cache-sized partition of the sorted key set.
+    Queries stream into the master, which routes each key to the owning
+    slave's outgoing batch buffer; full buffers are shipped as one
+    message.  Slaves process each incoming batch against their resident
+    partition and ship the ranks to the target.  Master dispatch, slave
+    lookups, network transfer and the resulting cache pollution all run
+    concurrently in the discrete-event simulation, so slave idle time and
+    the 128 KB cache-contention dip are emergent, not assumed.
+
+    The sub-methods differ only in the slave-side structure:
+    C-1 = CSB+ tree, C-2 = n-ary tree walked with the buffering technique
+    over L1-sized subtrees, C-3 = sorted array with binary search.
+
+    Multiple masters (the paper's §3.2 remedy for master overload) are
+    supported via [Scenario.n_masters]: nodes [0 .. n_masters-1] each run
+    a replica of the delimiter table over a contiguous share of the query
+    stream, and slaves serve batches from all masters in arrival order,
+    replying to the originating master's node. *)
+
+val run :
+  Workload.Scenario.t ->
+  variant:Methods.id ->
+  keys:int array ->
+  queries:int array ->
+  Run_result.t
+(** [run sc ~variant ~keys ~queries] with [variant] one of [C1]/[C2]/[C3].
+    Uses [sc.n_nodes - 1] slaves and [sc.batch_bytes] messages.  Every
+    returned rank is validated against the reference implementation.
+    Raises [Invalid_argument] for variants [A]/[B] or clusters of fewer
+    than 2 nodes. *)

@@ -1,0 +1,8 @@
+type t =
+  | Data of int * int array
+  | Reply of int * int array
+  | Term
+
+let data_tag = 0
+let term_tag = 1
+let reply_tag = 2

@@ -1,0 +1,15 @@
+(** Wire protocol shared by the Method C family.
+
+    Batches are self-identifying: [Data] and [Reply] carry a batch id so
+    collectors can match a slave's reply — slaves serve several upstream
+    dispatchers in arrival order — with the host-side record of which
+    queries the batch contained. *)
+
+type t =
+  | Data of int * int array  (** batch id, query keys (dispatcher to slave/router). *)
+  | Reply of int * int array  (** batch id, partition-local ranks (slave to target). *)
+  | Term  (** End of stream. *)
+
+val data_tag : int
+val reply_tag : int
+val term_tag : int

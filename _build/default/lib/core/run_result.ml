@@ -1,0 +1,59 @@
+type t = {
+  method_id : Methods.id;
+  scenario : string;
+  n_queries : int;
+  n_nodes : int;
+  batch_bytes : int;
+  total_ns : float;
+  raw_ns : float;
+  per_key_ns : float;
+  slave_idle : float;
+  master_busy : float;
+  messages : int;
+  bytes_sent : int;
+  validation_errors : int;
+  cache : Cachesim.Hierarchy.stats;
+  overflow_flushes : int;
+  mean_response_ns : float;
+  p95_response_ns : float;
+}
+
+let per_key_ns t = t.per_key_ns
+let throughput_mqs t = if t.per_key_ns = 0.0 then 0.0 else 1e3 /. t.per_key_ns
+let scaled_total_s t ~queries = t.per_key_ns *. float_of_int queries /. 1e9
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>method %a on %s: %d queries, %d nodes, batch %d KB@,\
+     total %a (%.1f ns/key, %.1f Mq/s)@,\
+     slave idle %.1f%%, master busy %.1f%%, %d msgs / %d bytes@,\
+     validation errors %d@]"
+    Methods.pp t.method_id t.scenario t.n_queries t.n_nodes
+    (t.batch_bytes / 1024) Simcore.Simtime.pp t.total_ns t.per_key_ns
+    (throughput_mqs t) (100.0 *. t.slave_idle) (100.0 *. t.master_busy)
+    t.messages t.bytes_sent t.validation_errors
+
+let header =
+  [
+    "method"; "scenario"; "queries"; "nodes"; "batch_bytes"; "total_ns";
+    "per_key_ns"; "slave_idle"; "master_busy"; "messages"; "bytes";
+    "validation_errors"; "mean_response_ns"; "p95_response_ns";
+  ]
+
+let to_cells t =
+  [
+    Methods.to_string t.method_id;
+    t.scenario;
+    string_of_int t.n_queries;
+    string_of_int t.n_nodes;
+    string_of_int t.batch_bytes;
+    Printf.sprintf "%.0f" t.total_ns;
+    Printf.sprintf "%.2f" t.per_key_ns;
+    Printf.sprintf "%.4f" t.slave_idle;
+    Printf.sprintf "%.4f" t.master_busy;
+    string_of_int t.messages;
+    string_of_int t.bytes_sent;
+    string_of_int t.validation_errors;
+    Printf.sprintf "%.0f" t.mean_response_ns;
+    Printf.sprintf "%.0f" t.p95_response_ns;
+  ]

@@ -1,0 +1,50 @@
+(** Measured outcome of one simulated experiment run. *)
+
+type t = {
+  method_id : Methods.id;
+  scenario : string;
+  n_queries : int;
+  n_nodes : int;
+  batch_bytes : int;
+  total_ns : float;
+      (** End-to-end simulated wall time of the run, after normalization
+          for Methods A/B (single-node time divided by the node count, as
+          the paper does for Figure 3 and Table 3). *)
+  raw_ns : float;  (** Un-normalized simulated time. *)
+  per_key_ns : float;  (** [total_ns / n_queries]. *)
+  slave_idle : float;
+      (** Mean idle fraction over the slave nodes (0 for A/B: the paper
+          charges them no coordination overhead at all). *)
+  master_busy : float;  (** Master CPU busy fraction (Method C only). *)
+  messages : int;
+  bytes_sent : int;
+  validation_errors : int;
+      (** Lookups whose returned rank differed from the reference
+          implementation — always 0 unless something is broken. *)
+  cache : Cachesim.Hierarchy.stats;  (** Aggregated over all nodes. *)
+  overflow_flushes : int;  (** Buffered-method early buffer drains. *)
+  mean_response_ns : float;
+      (** Mean per-query response time: from the moment the query is read
+          off the input stream to the moment its rank is delivered.  For
+          Method A this is the individual lookup cost; for Method B the
+          residence time of the query's batch; for Method C the measured
+          master-to-target latency of each key.  This is the second axis
+          of the paper's evaluation (§4.1): Method C reaches peak
+          throughput at much smaller batches — hence much lower response
+          times — than Method B. *)
+  p95_response_ns : float;  (** 95th percentile of the same distribution. *)
+}
+
+val per_key_ns : t -> float
+val throughput_mqs : t -> float
+(** Million lookups per simulated second. *)
+
+val scaled_total_s : t -> queries:int -> float
+(** Present the per-key cost at a different query volume — used to report
+    paper-scale (2^23-key) seconds from a scaled run. *)
+
+val pp : Format.formatter -> t -> unit
+val header : string list
+(** CSV/table column names matching {!to_cells}. *)
+
+val to_cells : t -> string list

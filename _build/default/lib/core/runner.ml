@@ -1,0 +1,16 @@
+let run sc ~method_id ~keys ~queries =
+  match (method_id : Methods.id) with
+  | Methods.A -> Method_a.run sc ~keys ~queries
+  | Methods.B -> Method_b.run sc ~keys ~queries
+  | Methods.C1 | Methods.C2 | Methods.C3 ->
+      Method_c.run sc ~variant:method_id ~keys ~queries
+
+let workload (sc : Workload.Scenario.t) =
+  let g = Prng.Splitmix.create sc.Workload.Scenario.seed in
+  let g_keys = Prng.Splitmix.split g in
+  let g_queries = Prng.Splitmix.split g in
+  let keys = Workload.Keygen.index_keys g_keys ~n:sc.Workload.Scenario.n_keys in
+  let queries =
+    Workload.Keygen.uniform_queries g_queries ~n:sc.Workload.Scenario.n_queries
+  in
+  (keys, queries)

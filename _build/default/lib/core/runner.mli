@@ -1,0 +1,14 @@
+(** Uniform entry point: run any of the five methods on a scenario. *)
+
+val run :
+  Workload.Scenario.t ->
+  method_id:Methods.id ->
+  keys:int array ->
+  queries:int array ->
+  Run_result.t
+
+val workload :
+  Workload.Scenario.t -> int array * int array
+(** [workload sc] generates the scenario's (index keys, query stream)
+    from its seed — split generators, so key and query randomness are
+    independent.  Every method must be measured on the same workload. *)

@@ -1,0 +1,67 @@
+open Simcore
+
+type index =
+  | S_csb of Index.Csb_tree.t
+  | S_buffered of Index.Buffered.t
+  | S_array of Index.Sorted_array.t
+
+let build variant machine slice ~batch_keys ~(params : Cachesim.Mem_params.t) =
+  match (variant : Methods.id) with
+  | Methods.C1 -> S_csb (Index.Csb_tree.build machine slice)
+  | Methods.C2 ->
+      let tree = Index.Nary_tree.build machine slice in
+      (* Zhou-Ross buffering against the L1: subtrees must fit in half the
+         L1 alongside their buffers (Section 3.2). *)
+      S_buffered
+        (Index.Buffered.create
+           ~budget_bytes:(params.Cachesim.Mem_params.l1_size / 2)
+           ~max_batch:batch_keys tree)
+  | Methods.C3 -> S_array (Index.Sorted_array.build machine slice)
+  | Methods.A | Methods.B ->
+      invalid_arg "Slave_node.build: variant must be C-1, C-2 or C-3"
+
+let overflow_flushes = function
+  | S_buffered b -> Index.Buffered.overflow_flushes b
+  | S_csb _ | S_array _ -> 0
+
+let spawn eng net m ~node ~terms_expected ~batch_keys ~index ~reply_dst
+    ~overhead_ns =
+  let word = (Machine.params m).Cachesim.Mem_params.word_bytes in
+  let rx = [| Machine.alloc m batch_keys; Machine.alloc m batch_keys |] in
+  let reply = Machine.alloc m batch_keys in
+  Engine.spawn eng ~name:(Printf.sprintf "slave@%d" node) (fun () ->
+      let terms = ref 0 in
+      let rx_sel = ref 0 in
+      while !terms < terms_expected do
+        let env = Netsim.Network.recv net ~dst:node in
+        match env.Netsim.Network.payload with
+        | Proto.Term -> incr terms
+        | Proto.Reply _ -> failwith "slave received a reply"
+        | Proto.Data (id, ks) ->
+            Machine.compute m overhead_ns;
+            let cnt = Array.length ks in
+            let buf = rx.(!rx_sel) in
+            Machine.dma_write m buf ks;
+            (match index with
+            | S_array sa ->
+                for j = 0 to cnt - 1 do
+                  let q = Machine.read m (buf + j) in
+                  Machine.write m (reply + j) (Index.Sorted_array.search sa q)
+                done
+            | S_csb ct ->
+                for j = 0 to cnt - 1 do
+                  let q = Machine.read m (buf + j) in
+                  Machine.write m (reply + j) (Index.Csb_tree.search ct q)
+                done
+            | S_buffered b ->
+                Index.Buffered.process_batch b ~queries:buf ~results:reply
+                  ~n:cnt);
+            Machine.compute m overhead_ns;
+            Machine.sync m;
+            let ranks = Array.init cnt (fun j -> Machine.peek m (reply + j)) in
+            Netsim.Network.isend net ~src:node
+              ~dst:(reply_dst ~src:env.Netsim.Network.src)
+              ~tag:Proto.reply_tag ~size:(cnt * word)
+              (Proto.Reply (id, ranks));
+            rx_sel := 1 - !rx_sel
+      done)

@@ -1,0 +1,39 @@
+(** The slave side of the Method C family: a cache-resident partition
+    index plus the serving loop, shared by the flat ({!Method_c}) and
+    hierarchical ({!Method_c_hier}) dispatch topologies. *)
+
+type index
+(** A built slave-side index: CSB+ tree (C-1), buffered n-ary tree (C-2)
+    or sorted array (C-3). *)
+
+val build :
+  Methods.id ->
+  Machine.t ->
+  int array ->
+  batch_keys:int ->
+  params:Cachesim.Mem_params.t ->
+  index
+(** Build the structure for the given sub-method over the slice of keys.
+    Raises [Invalid_argument] for methods [A]/[B]. *)
+
+val overflow_flushes : index -> int
+(** Early buffer drains (C-2 only; 0 otherwise). *)
+
+val spawn :
+  Simcore.Engine.t ->
+  Proto.t Netsim.Network.t ->
+  Machine.t ->
+  node:int ->
+  terms_expected:int ->
+  batch_keys:int ->
+  index:index ->
+  reply_dst:(src:int -> int) ->
+  overhead_ns:float ->
+  unit
+(** Start the serving process on [node]: receive [Data] batches from any
+    upstream dispatcher in arrival order, DMA them into a rotating pair
+    of receive buffers, answer against the partition index, and ship the
+    local ranks as a [Reply] (same batch id) to [reply_dst ~src] where
+    [src] is the sender of the data batch.  The process exits after
+    [terms_expected] [Term] messages.  Each message charges
+    [overhead_ns] of CPU on receive and on reply. *)

@@ -1,0 +1,1 @@
+lib/index/buffered.ml: Array Cachesim Machine Nary_tree

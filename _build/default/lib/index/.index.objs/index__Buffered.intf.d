@@ -1,0 +1,1 @@
+lib/index/buffered.mli: Nary_tree

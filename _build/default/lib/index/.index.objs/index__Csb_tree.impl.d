@@ -1,0 +1,1 @@
+lib/index/csb_tree.ml: Array Cachesim Key Layout_info Machine

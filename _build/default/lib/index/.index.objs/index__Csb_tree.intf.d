@@ -1,0 +1,1 @@
+lib/index/csb_tree.mli: Layout_info Machine

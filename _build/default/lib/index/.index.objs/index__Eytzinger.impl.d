@@ -1,0 +1,1 @@
+lib/index/eytzinger.ml: Array Cachesim Key Machine

@@ -1,0 +1,1 @@
+lib/index/layout_info.mli: Format

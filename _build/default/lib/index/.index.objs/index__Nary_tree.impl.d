@@ -1,0 +1,1 @@
+lib/index/nary_tree.ml: Array Cachesim Key Layout_info Machine Printf

@@ -1,0 +1,1 @@
+lib/index/nary_tree.mli: Layout_info Machine

@@ -1,0 +1,1 @@
+lib/index/ref_impl.mli:

@@ -1,0 +1,1 @@
+lib/index/sorted_array.ml: Array Cachesim Key Machine

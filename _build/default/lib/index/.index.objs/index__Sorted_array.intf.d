@@ -1,0 +1,1 @@
+lib/index/sorted_array.mli: Machine

@@ -1,0 +1,12 @@
+let sentinel = 1 lsl 30
+let valid k = k >= 0 && k < sentinel
+
+let check_sorted_unique keys =
+  let n = Array.length keys in
+  if n > 0 && not (valid keys.(0)) then
+    invalid_arg "Index: key out of range";
+  for i = 1 to n - 1 do
+    if not (valid keys.(i)) then invalid_arg "Index: key out of range";
+    if keys.(i) <= keys.(i - 1) then
+      invalid_arg "Index: keys must be strictly increasing"
+  done

@@ -1,0 +1,16 @@
+(** Key-space conventions shared by every index structure.
+
+    Keys are 4-byte words as in the paper.  Valid keys live in
+    [\[0, sentinel)]; the value {!sentinel} itself pads partially-filled
+    nodes, so that the node-scan loop "first slot with [query < slot]"
+    needs no length checks. *)
+
+val sentinel : int
+(** Exclusive upper bound of the key space ([2^30]). *)
+
+val valid : int -> bool
+(** [valid k] iff [0 <= k < sentinel]. *)
+
+val check_sorted_unique : int array -> unit
+(** Raise [Invalid_argument] unless the array is strictly increasing and
+    every element is {!valid}.  Index builders call this once. *)

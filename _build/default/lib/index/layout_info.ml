@@ -1,0 +1,18 @@
+type t = {
+  structure : string;
+  n_keys : int;
+  levels : int;
+  nodes : int;
+  node_bytes : int;
+  total_bytes : int;
+  keys_per_node : int;
+  fanout : int;
+}
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%s tree: %d keys, T = %d levels, %d nodes of %d bytes \
+     (%d keys/node, fanout %d), %.2f MB total@]"
+    t.structure t.n_keys t.levels t.nodes t.node_bytes t.keys_per_node
+    t.fanout
+    (float_of_int t.total_bytes /. 1048576.0)

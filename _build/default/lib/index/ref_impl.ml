@@ -1,0 +1,10 @@
+let rank keys q =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  (* invariant: keys.(i) <= q for i < lo; keys.(i) > q for i >= hi *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) <= q then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let partition_of ~delimiters q = rank delimiters q

@@ -1,0 +1,14 @@
+(** Reference implementations on plain OCaml arrays — no simulation, no
+    cost model.  The simulated index structures are cross-validated against
+    these, query by query, in the test suite and (optionally) inside
+    experiment runs. *)
+
+val rank : int array -> int -> int
+(** [rank keys q] over a strictly increasing [keys] is the number of
+    elements [<= q] — equivalently the index of the first element greater
+    than [q].  Result is in [\[0, length keys\]]. *)
+
+val partition_of : delimiters:int array -> int -> int
+(** [partition_of ~delimiters q] maps a key to the partition whose range
+    contains it: with [p] delimiters (the least key of partitions
+    [1..p]), the result is in [\[0, p\]]. *)

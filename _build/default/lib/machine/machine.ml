@@ -1,0 +1,120 @@
+type t = {
+  eng : Simcore.Engine.t;
+  node_name : string;
+  p : Cachesim.Mem_params.t;
+  hier : Cachesim.Hierarchy.t;
+  mutable mem : int array;
+  mutable brk : int; (* next free word *)
+  mutable pending : float;
+  mutable busy : float;
+}
+
+let initial_words = 1 lsl 16
+
+let create eng ?(name = "node") (p : Cachesim.Mem_params.t) =
+  {
+    eng;
+    node_name = name;
+    p;
+    hier = Cachesim.Hierarchy.create p;
+    mem = Array.make initial_words 0;
+    brk = 0;
+    pending = 0.0;
+    busy = 0.0;
+  }
+
+let engine t = t.eng
+let name t = t.node_name
+let params t = t.p
+let hierarchy t = t.hier
+let words_allocated t = t.brk
+
+let ensure t limit =
+  let cap = Array.length t.mem in
+  if limit > cap then begin
+    let cap' = ref cap in
+    while limit > !cap' do
+      cap' := !cap' * 2
+    done;
+    let mem' = Array.make !cap' 0 in
+    Array.blit t.mem 0 mem' 0 cap;
+    t.mem <- mem'
+  end
+
+let alloc t ?align_words n =
+  if n < 0 then invalid_arg "Machine.alloc: negative size";
+  let align =
+    match align_words with
+    | Some a ->
+        if a < 1 then invalid_arg "Machine.alloc: bad alignment";
+        a
+    | None -> t.p.l2_line / t.p.word_bytes
+  in
+  let base = (t.brk + align - 1) / align * align in
+  t.brk <- base + n;
+  ensure t t.brk;
+  base
+
+let charge t ns =
+  t.pending <- t.pending +. ns;
+  t.busy <- t.busy +. ns
+
+let check t a =
+  if a < 0 || a >= t.brk then
+    invalid_arg
+      (Printf.sprintf "Machine.%s: word address %d outside [0,%d)" t.node_name
+         a t.brk)
+
+let read t a =
+  check t a;
+  charge t
+    (Cachesim.Hierarchy.access t.hier ~addr:(a * t.p.word_bytes) ~write:false);
+  t.mem.(a)
+
+let write t a v =
+  check t a;
+  charge t
+    (Cachesim.Hierarchy.access t.hier ~addr:(a * t.p.word_bytes) ~write:true);
+  t.mem.(a) <- v
+
+let compute t ns =
+  if ns < 0.0 then invalid_arg "Machine.compute: negative cost";
+  charge t ns
+
+let sync t =
+  if t.pending > 0.0 then begin
+    let dt = t.pending in
+    t.pending <- 0.0;
+    (match Simcore.Trace.current () with
+    | Some tr ->
+        let now = Simcore.Engine.now t.eng in
+        Simcore.Trace.add tr ~lane:t.node_name ~label:"busy" ~t0:now
+          ~t1:(now +. dt)
+    | None -> ());
+    Simcore.Engine.delay t.eng dt
+  end
+
+let pending_ns t = t.pending
+let busy_ns t = t.busy
+
+let peek t a =
+  check t a;
+  t.mem.(a)
+
+let poke t a v =
+  check t a;
+  t.mem.(a) <- v
+
+let poke_array t a vs =
+  if Array.length vs > 0 then begin
+    check t a;
+    check t (a + Array.length vs - 1);
+    Array.blit vs 0 t.mem a (Array.length vs)
+  end
+
+let dma_write t a data =
+  poke_array t a data;
+  Cachesim.Hierarchy.invalidate_range t.hier ~addr:(a * t.p.word_bytes)
+    ~bytes:(Array.length data * t.p.word_bytes)
+
+let flush_caches t = Cachesim.Hierarchy.flush t.hier

@@ -1,0 +1,1 @@
+lib/model/predict.ml: Array Cachesim Float Mem_params Netsim Xd

@@ -1,0 +1,1 @@
+lib/model/predict.mli: Cachesim Netsim

@@ -1,0 +1,1 @@
+lib/model/trends.ml: Cachesim Float Netsim Printf

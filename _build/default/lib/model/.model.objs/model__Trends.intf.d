@@ -1,0 +1,1 @@
+lib/model/trends.mli: Cachesim Netsim

@@ -1,0 +1,1 @@
+lib/model/xd.ml: Array Float

@@ -1,0 +1,28 @@
+let cpu_factor ~years = Float.pow 2.0 (-.years /. 1.5)
+let net_factor ~years = Float.pow 2.0 (years /. 3.0)
+let mem_bw_factor ~years = Float.pow 1.2 years
+
+let scale_mem (p : Cachesim.Mem_params.t) ~years =
+  let c = cpu_factor ~years and m = mem_bw_factor ~years in
+  {
+    p with
+    Cachesim.Mem_params.name = Printf.sprintf "%s+%gy" p.Cachesim.Mem_params.name years;
+    comp_cost_node_ns = p.Cachesim.Mem_params.comp_cost_node_ns *. c;
+    comp_cost_probe_ns = p.Cachesim.Mem_params.comp_cost_probe_ns *. c;
+    l1_hit_ns = p.Cachesim.Mem_params.l1_hit_ns *. c;
+    mem_seq_bw = p.Cachesim.Mem_params.mem_seq_bw *. m;
+    (* B1 (L2 -> L1) and the TLB walk are on-chip: their latency tracks
+       the core clock.  B2 is DRAM-precharge-bound and does not improve —
+       that is the memory wall the paper builds on. *)
+    b1_penalty_ns = p.Cachesim.Mem_params.b1_penalty_ns *. c;
+    tlb_penalty_ns = p.Cachesim.Mem_params.tlb_penalty_ns *. c;
+  }
+
+let scale_net (p : Netsim.Profile.t) ~years =
+  let c = cpu_factor ~years and n = net_factor ~years in
+  {
+    Netsim.Profile.name = Printf.sprintf "%s+%gy" p.Netsim.Profile.name years;
+    latency_ns = p.Netsim.Profile.latency_ns;
+    bandwidth = p.Netsim.Profile.bandwidth *. n;
+    host_overhead_ns = p.Netsim.Profile.host_overhead_ns *. c;
+  }

@@ -1,0 +1,22 @@
+(** Technology-trend extrapolation (Section 4.2 / Figure 4).
+
+    The paper's assumptions, applied to the parameter records:
+
+    - CPU speed doubles every 18 months: all pure-computation costs
+      (node comparison, probe, dispatch, per-message host overhead)
+      shrink by [2^(years/1.5)];
+    - network bandwidth doubles every 3 years: [W2 * 2^(years/3)];
+    - per-processor memory bandwidth grows 20%/year: [W1 * 1.2^years];
+    - DRAM {e latency} does not improve: the B2 penalty and network
+      latency are held constant;
+    - on-chip latencies (B1, the TLB walk) track the core clock and
+      shrink with the CPU factor. *)
+
+val scale_mem : Cachesim.Mem_params.t -> years:float -> Cachesim.Mem_params.t
+val scale_net : Netsim.Profile.t -> years:float -> Netsim.Profile.t
+
+val cpu_factor : years:float -> float
+(** Multiplier applied to computation {e costs} ([< 1] in the future). *)
+
+val net_factor : years:float -> float
+val mem_bw_factor : years:float -> float

@@ -1,0 +1,49 @@
+let xd ~lambda ~q =
+  if lambda <= 0.0 then 0.0
+  else if q <= 0.0 then 0.0
+  else
+    (* lambda * (1 - (1 - 1/lambda)^q), via exp/log1p so that huge q and
+       huge lambda neither overflow nor lose the small-miss regime. *)
+    let log_keep = q *. Float.log1p (-1.0 /. lambda) in
+    lambda *. (-.Float.expm1 log_keep)
+
+let level_lines ~fanout ~levels ~lines_per_node =
+  if levels < 1 then invalid_arg "Xd.level_lines: levels must be >= 1";
+  Array.init levels (fun i ->
+      float_of_int lines_per_node *. (float_of_int fanout ** float_of_int i))
+
+let of_level_nodes counts ~lines_per_node =
+  Array.map (fun c -> float_of_int (c * lines_per_node)) counts
+
+let expected_distinct lambdas ~q =
+  Array.fold_left (fun acc lambda -> acc +. xd ~lambda ~q) 0.0 lambdas
+
+let total_lines lambdas = Array.fold_left ( +. ) 0.0 lambdas
+
+let q0 lambdas ~cache_lines =
+  if total_lines lambdas <= cache_lines then None
+  else begin
+    (* expected_distinct is monotone increasing in q: bisect. *)
+    let target = cache_lines in
+    let rec grow hi =
+      if expected_distinct lambdas ~q:hi >= target then hi else grow (hi *. 2.0)
+    in
+    let hi = grow 1.0 in
+    let lo = ref (hi /. 2.0) and hi = ref hi in
+    if expected_distinct lambdas ~q:!lo >= target then lo := 0.0;
+    for _ = 1 to 80 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if expected_distinct lambdas ~q:mid < target then lo := mid else hi := mid
+    done;
+    Some (0.5 *. (!lo +. !hi))
+  end
+
+let steady_misses lambdas ~cache_lines =
+  match q0 lambdas ~cache_lines with
+  | None -> 0.0
+  | Some q ->
+      let next = expected_distinct lambdas ~q:(q +. 1.0) in
+      Float.max 0.0 (next -. cache_lines)
+
+let cold_misses_per_lookup lambdas ~q =
+  if q <= 0.0 then 0.0 else expected_distinct lambdas ~q /. q

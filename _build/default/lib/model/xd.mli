@@ -1,0 +1,38 @@
+(** The cache-occupancy model of Appendix A (following Hankins & Patel).
+
+    [XD(lambda, q) = lambda * (1 - (1 - 1/lambda)^q)] is the expected
+    number of distinct cache lines touched, out of [lambda] lines at one
+    tree level, by [q] independent uniform lookups (Equation 2).  Summed
+    over levels it gives the tree footprint after [q] lookups; the paper
+    derives from it the steady-state per-lookup miss count of a tree that
+    overflows the cache (Equations 3-5). *)
+
+val xd : lambda:float -> q:float -> float
+(** Equation 2, evaluated stably for large [q] and large [lambda]. *)
+
+val level_lines : fanout:int -> levels:int -> lines_per_node:int -> float array
+(** Cache lines per tree level for a complete [fanout]-ary tree:
+    [fanout^(i-1) * lines_per_node] for level [i = 1..levels]. *)
+
+val of_level_nodes : int array -> lines_per_node:int -> float array
+(** Lines per level from actual per-level node counts (handles ragged
+    trees). *)
+
+val expected_distinct : float array -> q:float -> float
+(** [sum_i XD(lambda_i, q)] (Equation 1 numerator). *)
+
+val q0 : float array -> cache_lines:float -> float option
+(** Solve [expected_distinct lambdas q0 = cache_lines] (Equation 3): the
+    lookup count at which the tree's resident footprint exactly fills the
+    cache.  [None] when the whole tree fits ([sum lambda_i <=
+    cache_lines]): the cache never fills and steady state has no misses. *)
+
+val steady_misses : float array -> cache_lines:float -> float
+(** Equations 4-5: expected cache-line misses per lookup once the cache
+    holds a steady [cache_lines]-sized fragment of the tree; [0] when the
+    tree fits. *)
+
+val cold_misses_per_lookup : float array -> q:float -> float
+(** Equation 1: average misses per lookup across a cold start of [q]
+    lookups — [expected_distinct / q].  Used for subtree loading in
+    Method B (Equation 6). *)

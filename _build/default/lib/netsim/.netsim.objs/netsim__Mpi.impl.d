@@ -1,0 +1,1 @@
+lib/netsim/mpi.ml: Array Network Printf Queue Simcore

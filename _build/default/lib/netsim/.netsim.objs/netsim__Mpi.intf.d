@@ -1,0 +1,1 @@
+lib/netsim/mpi.mli: Network Profile Simcore

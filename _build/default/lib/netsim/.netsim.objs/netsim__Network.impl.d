@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Array Channel Engine Printf Profile Resource Simcore

@@ -1,0 +1,1 @@
+lib/netsim/profile.ml: Format Simcore Simtime

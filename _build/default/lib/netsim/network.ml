@@ -1,0 +1,95 @@
+open Simcore
+
+type 'a envelope = {
+  src : int;
+  dst : int;
+  tag : int;
+  size : int;
+  payload : 'a;
+  sent_at : float;
+}
+
+type 'a t = {
+  eng : Engine.t;
+  prof : Profile.t;
+  n : int;
+  tx : Resource.t array;
+  rx : Resource.t array;
+  mailboxes : 'a envelope Channel.t array;
+  mutable sent : int;
+  mutable bytes : int;
+  mutable delivered : int;
+}
+
+let create eng prof ~nodes =
+  if nodes < 1 then invalid_arg "Network.create: need at least one node";
+  {
+    eng;
+    prof;
+    n = nodes;
+    tx = Array.init nodes (fun i -> Resource.create ~name:(Printf.sprintf "tx%d" i) 1);
+    rx = Array.init nodes (fun i -> Resource.create ~name:(Printf.sprintf "rx%d" i) 1);
+    mailboxes =
+      Array.init nodes (fun i -> Channel.create ~name:(Printf.sprintf "mbox%d" i) ());
+    sent = 0;
+    bytes = 0;
+    delivered = 0;
+  }
+
+let engine t = t.eng
+let profile t = t.prof
+let nodes t = t.n
+
+let check_node t i what =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Network.%s: node %d outside [0,%d)" what i t.n)
+
+let isend t ~src ~dst ?(tag = 0) ~size payload =
+  check_node t src "isend";
+  check_node t dst "isend";
+  if size < 0 then invalid_arg "Network.isend: negative size";
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + size;
+  let env = { src; dst; tag; size; payload; sent_at = Engine.now t.eng } in
+  let wire = Profile.transfer_ns t.prof size in
+  (* The transfer is modelled cut-through: the sender's TX NIC is busy for
+     [wire]; the head of the message reaches the receiver after [latency],
+     at which point the receiver's RX NIC is busy for [wire] as the body
+     streams in.  TX and RX occupancy overlap, so an isolated message takes
+     [latency + wire] end-to-end while a saturated NIC still sustains the
+     full bandwidth. *)
+  Engine.spawn t.eng ~name:(Printf.sprintf "xfer-%d->%d" src dst) (fun () ->
+      Resource.acquire t.eng t.tx.(src);
+      Engine.spawn t.eng ~name:(Printf.sprintf "deliver-%d->%d" src dst)
+        (fun () ->
+          Engine.delay t.eng t.prof.Profile.latency_ns;
+          Resource.with_resource t.eng t.rx.(dst) (fun () ->
+              Engine.delay t.eng wire);
+          t.delivered <- t.delivered + 1;
+          Channel.send t.mailboxes.(dst) env);
+      Engine.delay t.eng wire;
+      Resource.release t.eng t.tx.(src))
+
+let recv t ~dst =
+  check_node t dst "recv";
+  Channel.recv t.eng t.mailboxes.(dst)
+
+let try_recv t ~dst =
+  check_node t dst "try_recv";
+  Channel.try_recv t.mailboxes.(dst)
+
+let pending t ~dst =
+  check_node t dst "pending";
+  Channel.length t.mailboxes.(dst)
+
+let messages_sent t = t.sent
+let bytes_sent t = t.bytes
+let messages_delivered t = t.delivered
+
+let tx_utilization t ~node =
+  check_node t node "tx_utilization";
+  Resource.utilization t.tx.(node) ~now:(Engine.now t.eng)
+
+let rx_utilization t ~node =
+  check_node t node "rx_utilization";
+  Resource.utilization t.rx.(node) ~now:(Engine.now t.eng)

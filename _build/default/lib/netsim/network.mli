@@ -1,0 +1,56 @@
+(** A switched cluster interconnect with per-node full-duplex NICs.
+
+    Topology is a full crossbar (as a Myrinet switch presents): the only
+    contended resources are each node's transmit and receive NICs.  A
+    message from [src] to [dst]:
+
+    + waits for (and then occupies) [src]'s TX NIC for
+      [size / bandwidth] — this serialises a node's outgoing messages and
+      is what bounds the master node's aggregate dispatch rate;
+    + travels for [latency];
+    + waits for (and then occupies) [dst]'s RX NIC for
+      [size / bandwidth];
+    + lands in [dst]'s mailbox, where {!recv} picks it up.
+
+    Sending is asynchronous ([MPI_Isend]): the sending process does not
+    block; the per-message {e host} software overhead is the caller's to
+    charge to its simulated CPU (see {!Profile.t.host_overhead_ns}), since
+    whether it overlaps is a property of the method being modelled. *)
+
+type 'a envelope = {
+  src : int;
+  dst : int;
+  tag : int;
+  size : int;  (** Payload size in bytes, as charged to the wire. *)
+  payload : 'a;
+  sent_at : float;  (** Simulated send time (for latency accounting). *)
+}
+
+type 'a t
+
+val create : Simcore.Engine.t -> Profile.t -> nodes:int -> 'a t
+val engine : 'a t -> Simcore.Engine.t
+val profile : 'a t -> Profile.t
+val nodes : 'a t -> int
+
+val isend : 'a t -> src:int -> dst:int -> ?tag:int -> size:int -> 'a -> unit
+(** Asynchronous send; must be called from inside a simulated process or
+    event.  [size] is the message payload size in bytes. *)
+
+val recv : 'a t -> dst:int -> 'a envelope
+(** Blocking receive of the next message addressed to [dst], in delivery
+    order. *)
+
+val try_recv : 'a t -> dst:int -> 'a envelope option
+val pending : 'a t -> dst:int -> int
+
+(** {2 Accounting} *)
+
+val messages_sent : 'a t -> int
+val bytes_sent : 'a t -> int
+val messages_delivered : 'a t -> int
+
+val tx_utilization : 'a t -> node:int -> float
+(** Fraction of elapsed simulated time node's TX NIC was busy. *)
+
+val rx_utilization : 'a t -> node:int -> float

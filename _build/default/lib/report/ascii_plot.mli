@@ -1,0 +1,22 @@
+(** Multi-series ASCII line plots — terminal renderings of the paper's
+    Figure 3 and Figure 4.
+
+    Each series gets a single-character glyph; overlapping points show the
+    glyph of the later series.  The x-axis can be plotted on a log2 scale,
+    which is how Figure 3's batch-size axis is presented. *)
+
+type series = { label : string; glyph : char; points : (float * float) array }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?logx:bool ->
+  ?y_min:float ->
+  ?y_max:float ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** [render ~x_label ~y_label series] draws all series on a shared grid
+    (default 72x20), with axis ranges from the data unless overridden,
+    followed by a legend. *)

@@ -1,0 +1,14 @@
+(** Minimal CSV emission for experiment results (machine-readable twin of
+    {!Table}). *)
+
+val escape : string -> string
+(** RFC-4180 quoting of one field when needed. *)
+
+val line : string list -> string
+(** One CSV record, newline-terminated. *)
+
+val render : header:string list -> string list list -> string
+(** Full document: header then rows. *)
+
+val save : path:string -> header:string list -> string list list -> unit
+(** Write a CSV file, creating or truncating [path]. *)

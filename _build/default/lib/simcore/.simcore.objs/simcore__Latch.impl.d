@@ -1,0 +1,1 @@
+lib/simcore/latch.ml: Engine Queue

@@ -1,0 +1,1 @@
+lib/simcore/pqueue.mli:

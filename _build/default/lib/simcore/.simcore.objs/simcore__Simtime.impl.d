@@ -1,0 +1,1 @@
+lib/simcore/simtime.ml: Float Format

@@ -1,0 +1,1 @@
+lib/simcore/simtime.mli: Format

@@ -1,0 +1,1 @@
+lib/simcore/trace.ml: Buffer Bytes Float Fun Hashtbl List Printf Simtime String

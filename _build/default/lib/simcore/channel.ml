@@ -1,0 +1,59 @@
+exception Closed
+
+(* A blocked receiver is represented by a callback that either delivers a
+   value or signals closure; the callback reschedules the suspended
+   process through the engine so wake-ups keep the global event order. *)
+type 'a waiter = Deliver of 'a | Chan_closed
+
+type 'a t = {
+  chan_name : string;
+  items : 'a Queue.t;
+  readers : ('a waiter -> unit) Queue.t;
+  mutable closed : bool;
+}
+
+let create ?(name = "chan") () =
+  { chan_name = name; items = Queue.create (); readers = Queue.create (); closed = false }
+
+let name t = t.chan_name
+let length t = Queue.length t.items
+let waiters t = Queue.length t.readers
+let is_closed t = t.closed
+
+let send t v =
+  if t.closed then raise Closed;
+  match Queue.take_opt t.readers with
+  | Some wake -> wake (Deliver v)
+  | None -> Queue.push v t.items
+
+let try_recv t =
+  match Queue.take_opt t.items with
+  | Some v -> Some v
+  | None -> None
+
+let recv engine t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None ->
+      if t.closed then raise Closed;
+      let cell = ref None in
+      Engine.suspend (fun eng resume ->
+          let wake outcome =
+            cell := Some outcome;
+            Engine.schedule_now eng resume
+          in
+          Queue.push wake t.readers);
+      ignore engine;
+      (match !cell with
+      | Some (Deliver v) -> v
+      | Some Chan_closed -> raise Closed
+      | None -> assert false)
+
+let close _engine t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* Buffered items stay receivable; only waiting readers (necessarily on
+       an empty buffer) observe closure. *)
+    Queue.iter (fun wake -> wake Chan_closed) t.readers;
+    Queue.clear t.readers
+  end

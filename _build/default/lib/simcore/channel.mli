@@ -1,0 +1,36 @@
+(** Unbounded FIFO message channels between simulated processes.
+
+    [send] never blocks (infinite capacity); [recv] blocks the calling
+    process until a message is available.  Receivers are woken in FIFO
+    order, preserving determinism. *)
+
+type 'a t
+
+exception Closed
+(** Raised by [recv] on a closed, drained channel and by [send] on a closed
+    channel. *)
+
+val create : ?name:string -> unit -> 'a t
+val name : 'a t -> string
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a message; wakes the longest-waiting receiver if any. *)
+
+val recv : Engine.t -> 'a t -> 'a
+(** Dequeue a message, blocking the calling process if the channel is
+    empty.  Must be called from inside a process. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val length : 'a t -> int
+(** Number of buffered (unreceived) messages. *)
+
+val waiters : 'a t -> int
+(** Number of processes blocked in [recv]. *)
+
+val close : Engine.t -> 'a t -> unit
+(** Close the channel: subsequent [send]s raise {!Closed}; blocked and
+    future [recv]s raise {!Closed} once the buffer is drained. *)
+
+val is_closed : 'a t -> bool

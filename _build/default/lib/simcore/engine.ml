@@ -1,0 +1,100 @@
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  queue : (unit -> unit) Pqueue.t;
+  mutable events : int;
+  mutable spawned : int;
+  mutable live : int;
+  mutable failure : (string * exn) option;
+}
+
+exception Process_failure of string * exn
+
+(* The single effect of the engine: the payload is given the engine and a
+   resume thunk and decides where to park the continuation. *)
+type _ Effect.t += Suspend : (t -> (unit -> unit) -> unit) -> unit Effect.t
+
+let create () =
+  {
+    now = 0.0;
+    seq = 0;
+    queue = Pqueue.create ();
+    events = 0;
+    spawned = 0;
+    live = 0;
+    failure = None;
+  }
+
+let now t = t.now
+let events_executed t = t.events
+let processes_spawned t = t.spawned
+let processes_live t = t.live
+
+let schedule_at t time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.now);
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Pqueue.push t.queue ~time ~seq f
+
+let schedule_after t dt f = schedule_at t (t.now +. dt) f
+let schedule_now t f = schedule_at t t.now f
+
+let suspend park = Effect.perform (Suspend park)
+
+let delay _t dt =
+  if dt < 0.0 then invalid_arg "Engine.delay: negative duration";
+  if dt > 0.0 then suspend (fun eng resume -> schedule_after eng dt resume)
+
+let yield _t = suspend schedule_now
+
+let spawn t ?(name = "anon") body =
+  t.spawned <- t.spawned + 1;
+  t.live <- t.live + 1;
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun exn ->
+          t.live <- t.live - 1;
+          if t.failure = None then t.failure <- Some (name, exn));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend park ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  park t (fun () -> Effect.Deep.continue k ()))
+          | _ -> None);
+    }
+  in
+  schedule_now t (fun () -> Effect.Deep.match_with body () handler)
+
+let check_failure t =
+  match t.failure with
+  | Some (name, exn) ->
+      t.failure <- None;
+      raise (Process_failure (name, exn))
+  | None -> ()
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, _seq, f) ->
+      t.now <- time;
+      t.events <- t.events + 1;
+      f ();
+      check_failure t;
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Pqueue.peek_time t.queue with
+    | Some time when time <= horizon -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if t.now < horizon then t.now <- horizon

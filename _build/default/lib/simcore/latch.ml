@@ -1,0 +1,25 @@
+type t = {
+  latch_name : string;
+  mutable count : int;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create ?(name = "latch") count =
+  if count < 0 then invalid_arg "Latch.create: negative count";
+  { latch_name = name; count; waiters = Queue.create () }
+
+let name t = t.latch_name
+let count t = t.count
+let is_open t = t.count = 0
+
+let arrive engine t =
+  if t.count <= 0 then invalid_arg "Latch.arrive: latch already open";
+  t.count <- t.count - 1;
+  if t.count = 0 then begin
+    Queue.iter (fun resume -> Engine.schedule_now engine resume) t.waiters;
+    Queue.clear t.waiters
+  end
+
+let await _engine t =
+  if t.count > 0 then
+    Engine.suspend (fun _eng resume -> Queue.push resume t.waiters)

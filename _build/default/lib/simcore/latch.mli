@@ -1,0 +1,27 @@
+(** Count-down latches: join points for groups of simulated processes.
+
+    A latch is created with a count [n]; processes call {!arrive} to
+    decrement it and {!await} to block until it reaches zero.  Used to
+    detect the completion of a set of worker processes (e.g. all slaves
+    have drained their query streams). *)
+
+type t
+
+val create : ?name:string -> int -> t
+(** [create n] is a latch that opens after [n >= 0] arrivals.  A latch
+    created with [n = 0] is already open. *)
+
+val name : t -> string
+
+val count : t -> int
+(** Remaining arrivals before the latch opens. *)
+
+val is_open : t -> bool
+
+val arrive : Engine.t -> t -> unit
+(** Decrement the count; when it reaches zero, wake all waiters.  Raises
+    [Invalid_argument] if the latch is already open. *)
+
+val await : Engine.t -> t -> unit
+(** Block the calling process until the latch opens (returns immediately
+    if already open). *)

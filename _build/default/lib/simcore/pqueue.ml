@@ -1,0 +1,117 @@
+(* Array-backed binary min-heap on the composite key (time, seq).
+
+   Three parallel arrays (times, seqs, payloads) avoid allocating a record
+   per event.  [dummy] fills unused payload slots so the GC does not retain
+   popped elements. *)
+
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable data : 'a array;
+  mutable size : int;
+  mutable dummy : 'a option; (* first pushed element, used to blank slots *)
+}
+
+let initial_capacity = 64
+
+let create () =
+  {
+    times = Array.make initial_capacity 0.0;
+    seqs = Array.make initial_capacity 0;
+    data = [||];
+    size = 0;
+    dummy = None;
+  }
+
+let length q = q.size
+let is_empty q = q.size = 0
+
+let less q i j =
+  q.times.(i) < q.times.(j)
+  || (q.times.(i) = q.times.(j) && q.seqs.(i) < q.seqs.(j))
+
+let swap q i j =
+  let t = q.times.(i) in
+  q.times.(i) <- q.times.(j);
+  q.times.(j) <- t;
+  let s = q.seqs.(i) in
+  q.seqs.(i) <- q.seqs.(j);
+  q.seqs.(j) <- s;
+  let d = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- d
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less q i parent then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 in
+  if l < q.size then begin
+    let r = l + 1 in
+    let smallest = if r < q.size && less q r l then r else l in
+    if less q smallest i then begin
+      swap q i smallest;
+      sift_down q smallest
+    end
+  end
+
+let grow q x =
+  let capacity = Array.length q.times in
+  if q.size = capacity then begin
+    let capacity' = 2 * capacity in
+    let times' = Array.make capacity' 0.0 in
+    let seqs' = Array.make capacity' 0 in
+    let data' = Array.make capacity' x in
+    Array.blit q.times 0 times' 0 q.size;
+    Array.blit q.seqs 0 seqs' 0 q.size;
+    Array.blit q.data 0 data' 0 q.size;
+    q.times <- times';
+    q.seqs <- seqs';
+    q.data <- data'
+  end
+
+let push q ~time ~seq x =
+  if q.data = [||] then begin
+    (* First element ever: materialise the payload array now that we have a
+       value of type ['a] to fill it with. *)
+    q.data <- Array.make (Array.length q.times) x;
+    q.dummy <- Some x
+  end;
+  grow q x;
+  let i = q.size in
+  q.times.(i) <- time;
+  q.seqs.(i) <- seq;
+  q.data.(i) <- x;
+  q.size <- q.size + 1;
+  sift_up q i
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let time = q.times.(0) and seq = q.seqs.(0) and x = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.times.(0) <- q.times.(q.size);
+      q.seqs.(0) <- q.seqs.(q.size);
+      q.data.(0) <- q.data.(q.size)
+    end;
+    (match q.dummy with
+    | Some d -> q.data.(q.size) <- d
+    | None -> ());
+    sift_down q 0;
+    Some (time, seq, x)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.times.(0)
+
+let clear q =
+  (match q.dummy with
+  | Some d -> Array.fill q.data 0 q.size d
+  | None -> ());
+  q.size <- 0

@@ -1,0 +1,29 @@
+(** Binary min-heap keyed by [(time, seq)] used as the event queue of the
+    discrete-event engine.
+
+    The secondary key [seq] makes the ordering of simultaneous events total
+    and deterministic: events scheduled earlier (smaller [seq]) fire first.
+    The heap is specialised to this double key rather than a polymorphic
+    comparator because it sits on the hot path of every simulation step. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty queue. *)
+
+val length : 'a t -> int
+(** Number of queued elements. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+(** [push q ~time ~seq x] inserts [x] with priority [(time, seq)]. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** [pop q] removes and returns the minimum element, or [None] if empty. *)
+
+val peek_time : 'a t -> float option
+(** Time of the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)

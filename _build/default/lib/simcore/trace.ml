@@ -1,0 +1,74 @@
+type span = { lane : string; label : string; t0 : float; t1 : float }
+
+type t = { mutable spans_rev : span list; mutable n : int }
+
+let ambient : t option ref = ref None
+
+let create () = { spans_rev = []; n = 0 }
+
+let with_recording t f =
+  let saved = !ambient in
+  ambient := Some t;
+  Fun.protect ~finally:(fun () -> ambient := saved) f
+
+let current () = !ambient
+
+let add t ~lane ~label ~t0 ~t1 =
+  if t1 < t0 then invalid_arg "Trace.add: span ends before it starts";
+  t.spans_rev <- { lane; label; t0; t1 } :: t.spans_rev;
+  t.n <- t.n + 1
+
+let spans t = List.rev t.spans_rev
+
+let lanes t =
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc s ->
+      if Hashtbl.mem seen s.lane then acc
+      else begin
+        Hashtbl.add seen s.lane ();
+        s.lane :: acc
+      end)
+    [] (spans t)
+  |> List.rev
+
+let total_busy t ~lane =
+  List.fold_left
+    (fun acc s -> if s.lane = lane then acc +. (s.t1 -. s.t0) else acc)
+    0.0 (spans t)
+
+let render_gantt ?(width = 72) t =
+  match spans t with
+  | [] -> "(empty trace)\n"
+  | all ->
+      let start = List.fold_left (fun acc s -> Float.min acc s.t0) infinity all in
+      let stop = List.fold_left (fun acc s -> Float.max acc s.t1) 0.0 all in
+      let range = Float.max 1e-9 (stop -. start) in
+      let cell time =
+        let c = int_of_float ((time -. start) /. range *. float_of_int width) in
+        max 0 (min (width - 1) c)
+      in
+      let lane_names = lanes t in
+      let name_width =
+        List.fold_left (fun acc l -> max acc (String.length l)) 0 lane_names
+      in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "timeline: %s .. %s\n" (Simtime.to_string start)
+           (Simtime.to_string stop));
+      List.iter
+        (fun lane ->
+          let row = Bytes.make width '.' in
+          List.iter
+            (fun s ->
+              if s.lane = lane then
+                for c = cell s.t0 to cell (s.t1 -. 1e-12) do
+                  Bytes.set row c '#'
+                done)
+            all;
+          let busy = total_busy t ~lane /. range in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s |%s| %4.1f%%\n" name_width lane
+               (Bytes.to_string row) (100.0 *. busy)))
+        lane_names;
+      Buffer.contents buf

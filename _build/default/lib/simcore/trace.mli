@@ -1,0 +1,41 @@
+(** Execution tracing: named-lane busy spans collected during a
+    simulation and rendered as an ASCII Gantt chart.
+
+    Tracing is opt-in around a region: {!with_recording} installs a fresh
+    recorder as the ambient trace; instrumented components (e.g. the
+    simulated machine's [sync]) look the ambient trace up through
+    {!current} and add spans.  Outside a recording region, {!current} is
+    [None] and instrumentation is free.
+
+    The recorder is intentionally ambient rather than threaded through
+    every API: it is a diagnostic facility for one simulation at a time
+    (simulations themselves are single-threaded and deterministic). *)
+
+type t
+
+type span = { lane : string; label : string; t0 : float; t1 : float }
+
+val create : unit -> t
+
+val with_recording : t -> (unit -> 'a) -> 'a
+(** Run a thunk with [t] as the ambient trace (restored afterwards, also
+    on exceptions). *)
+
+val current : unit -> t option
+(** The ambient trace, if inside {!with_recording}. *)
+
+val add : t -> lane:string -> label:string -> t0:float -> t1:float -> unit
+(** Record a busy span; [t1 >= t0]. *)
+
+val spans : t -> span list
+(** Spans in recording order. *)
+
+val lanes : t -> string list
+(** Distinct lanes in first-appearance order. *)
+
+val total_busy : t -> lane:string -> float
+
+val render_gantt : ?width:int -> t -> string
+(** One row per lane; [#] marks simulated time where the lane was busy,
+    [.] idle.  The time axis spans the earliest to the latest recorded
+    span. *)

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Cachesim Format Netsim

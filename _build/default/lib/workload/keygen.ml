@@ -1,0 +1,42 @@
+let key_space = Index.Key.sentinel
+
+let index_keys g ~n =
+  if n < 1 then invalid_arg "Keygen.index_keys: n must be >= 1";
+  if n > key_space / 2 then invalid_arg "Keygen.index_keys: n too large";
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n 0 in
+  let filled = ref 0 in
+  while !filled < n do
+    let k = Prng.Splitmix.int g key_space in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      out.(!filled) <- k;
+      incr filled
+    end
+  done;
+  Array.sort compare out;
+  out
+
+let uniform_queries g ~n =
+  if n < 0 then invalid_arg "Keygen.uniform_queries: negative n";
+  Array.init n (fun _ -> Prng.Splitmix.int g key_space)
+
+let member_queries g ~keys ~n =
+  let m = Array.length keys in
+  if m = 0 then invalid_arg "Keygen.member_queries: empty key set";
+  Array.init n (fun _ -> keys.(Prng.Splitmix.int g m))
+
+let zipf_queries g ~keys ~n ~s =
+  let m = Array.length keys in
+  if m = 0 then invalid_arg "Keygen.zipf_queries: empty key set";
+  (* Shuffle a copy so Zipf rank 0 (the hottest key) is a random key, not
+     the smallest: otherwise all hot traffic would land on partition 0. *)
+  let shuffled = Array.copy keys in
+  Prng.Splitmix.shuffle g shuffled;
+  let z = Prng.Zipf.create ~n:m ~s in
+  Array.init n (fun _ -> shuffled.(Prng.Zipf.sample z g))
+
+let sorted_queries g ~n =
+  let qs = uniform_queries g ~n in
+  Array.sort compare qs;
+  qs

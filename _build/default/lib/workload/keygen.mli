@@ -1,0 +1,30 @@
+(** Generation of index key sets and query streams.
+
+    The paper generates both the indexed keys and the 8 million search
+    keys uniformly at random.  Everything here is driven by an explicit
+    {!Prng.Splitmix.t}, so workloads are reproducible and the key and
+    query streams can use independent split generators. *)
+
+val index_keys : Prng.Splitmix.t -> n:int -> int array
+(** [index_keys g ~n] draws [n] distinct keys uniformly from the valid
+    key space and returns them sorted ascending (the form every index
+    builder expects).  Requires [n] at most half the key space. *)
+
+val uniform_queries : Prng.Splitmix.t -> n:int -> int array
+(** [n] query keys uniform over the whole key space (the paper's
+    workload; most queries fall between indexed keys). *)
+
+val member_queries : Prng.Splitmix.t -> keys:int array -> n:int -> int array
+(** Queries drawn uniformly from the indexed keys themselves (every
+    lookup is an exact hit). *)
+
+val zipf_queries :
+  Prng.Splitmix.t -> keys:int array -> n:int -> s:float -> int array
+(** Skewed queries: key ranks drawn from a Zipf distribution with
+    exponent [s] over a random permutation of the indexed keys, so the
+    hot keys are scattered across the key space (and hence across
+    Method C's partitions) rather than clustered in one partition. *)
+
+val sorted_queries : Prng.Splitmix.t -> n:int -> int array
+(** Uniform queries, pre-sorted ascending — a best-case locality stream
+    used by ablations. *)

@@ -1,0 +1,56 @@
+type t = {
+  name : string;
+  n_keys : int;
+  n_queries : int;
+  n_nodes : int;
+  n_masters : int;
+  batch_bytes : int;
+  params : Cachesim.Mem_params.t;
+  net : Netsim.Profile.t;
+  seed : int;
+}
+
+let kib n = n * 1024
+
+let paper =
+  {
+    name = "paper";
+    n_keys = 327_680;
+    n_queries = 1 lsl 23;
+    n_nodes = 11;
+    n_masters = 1;
+    batch_bytes = kib 128;
+    params = Cachesim.Mem_params.pentium3;
+    net = Netsim.Profile.myrinet;
+    seed = 2005;
+  }
+
+let scaled = { paper with name = "scaled"; n_queries = 1 lsl 21 }
+
+let ci =
+  {
+    name = "ci";
+    n_keys = 1 lsl 14;
+    n_queries = 1 lsl 16;
+    n_nodes = 6;
+    n_masters = 1;
+    batch_bytes = kib 32;
+    params = Cachesim.Mem_params.pentium3;
+    net = Netsim.Profile.myrinet;
+    seed = 42;
+  }
+
+let with_batch t batch_bytes = { t with batch_bytes }
+
+let fig3_batches =
+  [ kib 8; kib 16; kib 32; kib 64; kib 128; kib 256; kib 512;
+    kib 1024; kib 2048; kib 4096 ]
+
+let queries_per_batch t =
+  max 1 (t.batch_bytes / t.params.Cachesim.Mem_params.word_bytes)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s: %d keys, %d queries, %d nodes, batch %d KB, %s, %s" t.name t.n_keys
+    t.n_queries t.n_nodes (t.batch_bytes / 1024)
+    t.params.Cachesim.Mem_params.name t.net.Netsim.Profile.name

@@ -1,0 +1,45 @@
+(** Experiment scenario presets: the paper's configuration (Table 1 and
+    Section 4.1) and scaled-down variants for CI and benchmarking.
+
+    A scenario bundles everything an experiment run needs: index size,
+    query volume, cluster size, machine profile, network profile and
+    seed.  Query volume is the only knob that changes between the paper
+    scale and the scaled default — per-key costs are what the figures
+    compare, and those are volume-invariant once the caches reach steady
+    state. *)
+
+type t = {
+  name : string;
+  n_keys : int;  (** Indexed keys (Table 1: 327,680). *)
+  n_queries : int;  (** Search keys (paper: 2^23). *)
+  n_nodes : int;  (** Cluster size incl. masters (paper: 11). *)
+  n_masters : int;
+      (** Master nodes for Method C (paper: 1; §3.2 suggests replicating
+          the top-level table over several masters under heavy load). *)
+  batch_bytes : int;  (** Message/batch size (Figure 3 x-axis). *)
+  params : Cachesim.Mem_params.t;
+  net : Netsim.Profile.t;
+  seed : int;
+}
+
+val paper : t
+(** Full paper configuration: 327,680 keys, 2^23 queries, 11 nodes,
+    Pentium III + Myrinet, 128 KB batches. *)
+
+val scaled : t
+(** Paper configuration with 2^20 queries — the default for the bench
+    harness; per-key results match [paper] closely at ~1/8 the cost. *)
+
+val ci : t
+(** Small smoke-test scenario for unit tests: 2^14 keys, 2^16 queries,
+    6 nodes. *)
+
+val with_batch : t -> int -> t
+(** Replace the batch size (Figure 3 sweeps this). *)
+
+val fig3_batches : int list
+(** The paper's Figure 3 x-axis: 8 KB to 4 MB in powers of two. *)
+
+val queries_per_batch : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Cache Cachesim Float Hierarchy List Mem_params Prefetcher Prng QCheck QCheck_alcotest Simcore

@@ -1,0 +1,1 @@
+test/test_dispatch.ml: Alcotest Array Cachesim Dispatch Float Index Lazy List Netsim Printf QCheck QCheck_alcotest Report String Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cachesim Dispatch Index Int Lazy List Machine Printf Prng QCheck QCheck_alcotest Set Simcore Workload

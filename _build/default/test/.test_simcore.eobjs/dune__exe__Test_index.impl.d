@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Cachesim Engine Index Int List Machine Printf Prng QCheck QCheck_alcotest Set Simcore

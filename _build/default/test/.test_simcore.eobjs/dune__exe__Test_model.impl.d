@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Cachesim Float List Model Netsim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mpi.ml: Alcotest Array Engine Mpi Netsim Profile Simcore

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Engine List Netsim Network Profile Simcore

@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Array Channel Engine Latch List Pqueue Printf Prng Resource Simcore Simtime String Trace

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cachesim Hashtbl Index Int List Netsim Option Prng QCheck QCheck_alcotest Set Workload

@@ -1,0 +1,407 @@
+(* Tests for the set-associative cache, prefetcher, TLB behaviour and the
+   two-level hierarchy cost model. *)
+
+open Cachesim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let small_cache ?(ways = 2) ?(line = 32) ?(size = 256) () =
+  (* 256 B, 32 B lines, 2-way: 4 sets. *)
+  Cache.create ~size_bytes:size ~line_bytes:line ~ways ()
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_geometry () =
+  let c = small_cache () in
+  check_int "lines" 8 (Cache.lines c);
+  check_int "sets" 4 (Cache.sets c);
+  check_int "ways" 2 (Cache.ways c);
+  check_int "line of addr 0" 0 (Cache.line_of_addr c 31);
+  check_int "line of addr 32" 1 (Cache.line_of_addr c 32)
+
+let test_cache_miss_then_hit () =
+  let c = small_cache () in
+  check_bool "cold miss" false (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.fill c ~addr:0 ~write:false);
+  check_bool "hit after fill" true (Cache.access c ~addr:0 ~write:false);
+  check_bool "same line hits" true (Cache.access c ~addr:31 ~write:false);
+  check_bool "next line misses" false (Cache.access c ~addr:32 ~write:false)
+
+let test_cache_lru_eviction () =
+  let c = small_cache () in
+  (* Addresses 0, 128, 256 map to set 0 (line numbers 0, 4, 8). *)
+  ignore (Cache.fill c ~addr:0 ~write:false);
+  ignore (Cache.fill c ~addr:128 ~write:false);
+  (* Touch line 0 so line 4 becomes LRU. *)
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.fill c ~addr:256 ~write:false);
+  check_bool "MRU line survives" true (Cache.resident c ~addr:0);
+  check_bool "LRU line evicted" false (Cache.resident c ~addr:128);
+  check_bool "new line resident" true (Cache.resident c ~addr:256)
+
+let test_cache_dirty_writeback () =
+  let c = small_cache ~ways:1 () in
+  ignore (Cache.fill c ~addr:0 ~write:true);
+  (* Same set (8 sets? with ways=1, 256/32 = 8 sets): line 0 and line 8. *)
+  let conflicting = 8 * 32 in
+  let wrote_back = Cache.fill c ~addr:conflicting ~write:false in
+  check_bool "dirty line written back" true wrote_back;
+  let s = Cache.stats c in
+  check_int "writebacks counted" 1 s.Cache.writebacks;
+  check_int "evictions counted" 1 s.Cache.evictions
+
+let test_cache_clean_eviction_no_writeback () =
+  let c = small_cache ~ways:1 () in
+  ignore (Cache.fill c ~addr:0 ~write:false);
+  let wrote_back = Cache.fill c ~addr:(8 * 32) ~write:false in
+  check_bool "clean eviction" false wrote_back
+
+let test_cache_write_hit_sets_dirty () =
+  let c = small_cache ~ways:1 () in
+  ignore (Cache.fill c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:true);
+  check_bool "dirtied by write hit" true (Cache.fill c ~addr:(8 * 32) ~write:false)
+
+let test_cache_invalidate () =
+  let c = small_cache () in
+  ignore (Cache.fill c ~addr:0 ~write:true);
+  ignore (Cache.fill c ~addr:64 ~write:false);
+  Cache.invalidate c ~addr:0;
+  check_bool "invalidated line gone" false (Cache.resident c ~addr:0);
+  check_bool "other line untouched" true (Cache.resident c ~addr:64);
+  (* Idempotent on absent lines. *)
+  Cache.invalidate c ~addr:0;
+  check_bool "still gone" false (Cache.resident c ~addr:0);
+  (* A dirty invalidated line is dropped without a write-back. *)
+  check_int "no writebacks" 0 (Cache.stats c).Cache.writebacks
+
+let test_cache_flush () =
+  let c = small_cache () in
+  ignore (Cache.fill c ~addr:0 ~write:false);
+  Cache.flush c;
+  check_bool "flushed" false (Cache.resident c ~addr:0)
+
+let test_cache_stats_counting () =
+  let c = small_cache () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.fill c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:false);
+  let s = Cache.stats c in
+  check_int "hits" 2 s.Cache.hits;
+  check_int "misses" 1 s.Cache.misses;
+  Cache.reset_stats c;
+  let s = Cache.stats c in
+  check_int "reset" 0 (s.Cache.hits + s.Cache.misses)
+
+let test_cache_fully_associative () =
+  (* sets = 1: any 4 lines coexist regardless of address bits. *)
+  let c = Cache.create ~size_bytes:128 ~line_bytes:32 ~ways:4 () in
+  check_int "one set" 1 (Cache.sets c);
+  List.iter
+    (fun a -> ignore (Cache.fill c ~addr:a ~write:false))
+    [ 0; 4096; 8192; 123456 * 32 ];
+  check_bool "all resident" true
+    (List.for_all
+       (fun a -> Cache.resident c ~addr:a)
+       [ 0; 4096; 8192; 123456 * 32 ])
+
+let test_cache_bad_geometry_rejected () =
+  Alcotest.check_raises "bad line"
+    (Invalid_argument "Cache.create: line size must be a power of two")
+    (fun () -> ignore (Cache.create ~size_bytes:256 ~line_bytes:33 ~ways:2 ()));
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Cache.create: size not a multiple of line * ways")
+    (fun () -> ignore (Cache.create ~size_bytes:100 ~line_bytes:32 ~ways:2 ()))
+
+let prop_cache_resident_after_fill =
+  QCheck.Test.make ~name:"fill makes line resident" ~count:500
+    QCheck.(int_range 0 1_000_000)
+    (fun addr ->
+      let c = small_cache () in
+      ignore (Cache.fill c ~addr ~write:false);
+      Cache.resident c ~addr)
+
+let prop_cache_occupancy_bounded =
+  QCheck.Test.make ~name:"at most [lines] lines resident" ~count:50
+    QCheck.(pair small_int (list (int_range 0 100_000)))
+    (fun (_, addrs) ->
+      let c = small_cache () in
+      List.iter (fun a -> ignore (Cache.fill c ~addr:a ~write:false)) addrs;
+      let distinct_resident =
+        List.sort_uniq compare (List.map (Cache.line_of_addr c) addrs)
+        |> List.filter (fun l -> Cache.resident c ~addr:(l * 32))
+        |> List.length
+      in
+      distinct_resident <= Cache.lines c)
+
+(* ------------------------------------------------------------------ *)
+(* Prefetcher *)
+
+let test_prefetcher_detects_stream () =
+  let pf = Prefetcher.create () in
+  check_bool "first miss random" false (Prefetcher.note_miss pf ~line:100);
+  check_bool "next line sequential" true (Prefetcher.note_miss pf ~line:101);
+  check_bool "keeps following" true (Prefetcher.note_miss pf ~line:102);
+  check_bool "jump is random" false (Prefetcher.note_miss pf ~line:500)
+
+let test_prefetcher_interleaved_streams () =
+  let pf = Prefetcher.create ~streams:4 () in
+  ignore (Prefetcher.note_miss pf ~line:10);
+  ignore (Prefetcher.note_miss pf ~line:1000);
+  check_bool "stream A" true (Prefetcher.note_miss pf ~line:11);
+  check_bool "stream B" true (Prefetcher.note_miss pf ~line:1001);
+  check_bool "stream A again" true (Prefetcher.note_miss pf ~line:12)
+
+let test_prefetcher_capacity_thrash () =
+  (* More interleaved streams than detectors: classification degrades to
+     random, as intended for scattered buffer writes. *)
+  let pf = Prefetcher.create ~streams:2 () in
+  ignore (Prefetcher.note_miss pf ~line:0);
+  ignore (Prefetcher.note_miss pf ~line:1000);
+  ignore (Prefetcher.note_miss pf ~line:2000);
+  ignore (Prefetcher.note_miss pf ~line:3000);
+  check_bool "evicted stream lost" false (Prefetcher.note_miss pf ~line:1)
+
+let test_prefetcher_counters () =
+  let pf = Prefetcher.create () in
+  ignore (Prefetcher.note_miss pf ~line:5);
+  ignore (Prefetcher.note_miss pf ~line:6);
+  ignore (Prefetcher.note_miss pf ~line:7);
+  check_int "seq" 2 (Prefetcher.sequential_hits pf);
+  check_int "rand" 1 (Prefetcher.random_misses pf);
+  Prefetcher.reset pf;
+  check_int "reset" 0 (Prefetcher.sequential_hits pf + Prefetcher.random_misses pf)
+
+(* ------------------------------------------------------------------ *)
+(* Mem_params *)
+
+let test_params_pentium3_table2 () =
+  let p = Mem_params.pentium3 in
+  check_int "L2 size" (512 * 1024) p.Mem_params.l2_size;
+  check_int "L1 size" (16 * 1024) p.Mem_params.l1_size;
+  check_int "L2 line" 32 p.Mem_params.l2_line;
+  check_int "L1 line" 32 p.Mem_params.l1_line;
+  check_float "B2" 110.0 p.Mem_params.b2_penalty_ns;
+  check_float "B1" 16.25 p.Mem_params.b1_penalty_ns;
+  check_int "TLB" 64 p.Mem_params.tlb_entries;
+  check_float "comp cost node" 30.0 p.Mem_params.comp_cost_node_ns;
+  check_int "words per line" 8 (Mem_params.words_per_line p);
+  (* W1 = 647 MB/s *)
+  check_bool "W1" true
+    (Float.abs (Simcore.Simtime.mb_per_s_of_bytes_per_ns p.Mem_params.mem_seq_bw -. 647.0)
+     < 0.5)
+
+let test_params_random_bw_matches_measurement () =
+  (* The paper measured ~48 MB/s random bandwidth; one 4-byte word per
+     110 ns B2 penalty implies ~36 MB/s — same order, latency-bound. *)
+  let p = Mem_params.pentium3 in
+  let mb = Simcore.Simtime.mb_per_s_of_bytes_per_ns (Mem_params.random_mem_bw p) in
+  check_bool "tens of MB/s" true (mb > 20.0 && mb < 60.0)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy *)
+
+let p3 = Mem_params.pentium3
+
+let test_hierarchy_costs_by_level () =
+  let h = Hierarchy.create p3 in
+  (* Cold access: TLB miss + random L2 miss. *)
+  let c1 = Hierarchy.access h ~addr:0 ~write:false in
+  check_float "cold cost" (p3.Mem_params.tlb_penalty_ns +. p3.Mem_params.b2_penalty_ns) c1;
+  (* Now resident everywhere: L1 hit costs l1_hit_ns = 0. *)
+  let c2 = Hierarchy.access h ~addr:0 ~write:false in
+  check_float "L1 hit" p3.Mem_params.l1_hit_ns c2
+
+let test_hierarchy_l2_hit_cost () =
+  let h = Hierarchy.create p3 in
+  ignore (Hierarchy.access h ~addr:0 ~write:false);
+  (* Evict from L1 by filling its set: L1 16 KB 4-way 32 B lines = 128
+     sets; same L1 set stride = 128*32 = 4096 bytes. Use 4 distinct lines
+     mapping to L1 set 0 but different L2 sets where possible. *)
+  for i = 1 to 4 do
+    ignore (Hierarchy.access h ~addr:(i * 4096) ~write:false)
+  done;
+  (* addr 0 now evicted from L1 but still in L2 (L2 is 8-way, 2048 sets —
+     hmm, same L2 set stride is 64 KB, so these all landed in different L2
+     sets and addr 0 is L2-resident). *)
+  let c = Hierarchy.access h ~addr:0 ~write:false in
+  check_float "B1 penalty" p3.Mem_params.b1_penalty_ns c
+
+let test_hierarchy_sequential_stream_cheap () =
+  let h = Hierarchy.create p3 in
+  (* Touch 3 consecutive lines; misses 2 and 3 are stream-classified. *)
+  let line = p3.Mem_params.l2_line in
+  ignore (Hierarchy.access h ~addr:(10 * line) ~write:false);
+  let c2 = Hierarchy.access h ~addr:(11 * line) ~write:false in
+  let expected = float_of_int line /. p3.Mem_params.mem_seq_bw in
+  check_float "stream miss at W1" expected c2;
+  let s = Hierarchy.stats h in
+  check_int "seq misses" 1 s.Hierarchy.seq_misses;
+  check_int "rand misses" 1 s.Hierarchy.rand_misses
+
+let test_hierarchy_random_pattern_expensive () =
+  let h = Hierarchy.create p3 in
+  let g = Prng.Splitmix.create 99 in
+  let n = 2000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    (* Random words over 64 MB: essentially always TLB+L2 misses. *)
+    let addr = Prng.Splitmix.int g (64 * 1024 * 1024 / 4) * 4 in
+    total := !total +. Hierarchy.access h ~addr ~write:false
+  done;
+  let per = !total /. float_of_int n in
+  check_bool "close to B2 + TLB" true (per > 100.0 && per < 160.0)
+
+let test_hierarchy_tlb_page_granularity () =
+  let h = Hierarchy.create p3 in
+  ignore (Hierarchy.access h ~addr:0 ~write:false);
+  (* Different line, same 4 KB page: no TLB miss. *)
+  let c = Hierarchy.access h ~addr:512 ~write:false in
+  let s = Hierarchy.stats h in
+  check_int "one TLB miss" 1 s.Hierarchy.tlb_misses;
+  check_float "no TLB penalty on second" p3.Mem_params.b2_penalty_ns c
+
+let test_hierarchy_writeback_charged () =
+  let h = Hierarchy.create p3 in
+  (* Dirty a line, then evict it from L2 with conflicting fills: L2 512 KB
+     8-way 32 B = 2048 sets; same-set stride = 64 KB. *)
+  ignore (Hierarchy.access h ~addr:0 ~write:true);
+  for i = 1 to 8 do
+    ignore (Hierarchy.access h ~addr:(i * 64 * 1024) ~write:false)
+  done;
+  let s = Hierarchy.stats h in
+  check_int "writeback happened" 1 s.Hierarchy.writebacks
+
+let test_hierarchy_working_set_within_l2_settles () =
+  let h = Hierarchy.create p3 in
+  (* A 128 KB working set scanned repeatedly ends up fully resident:
+     second pass and later cost ~0. *)
+  let words = 128 * 1024 / 4 in
+  for _pass = 1 to 3 do
+    for w = 0 to words - 1 do
+      ignore (Hierarchy.access h ~addr:(w * 4) ~write:false)
+    done
+  done;
+  Hierarchy.reset_stats h;
+  for w = 0 to words - 1 do
+    ignore (Hierarchy.access h ~addr:(w * 4) ~write:false)
+  done;
+  let s = Hierarchy.stats h in
+  check_int "no more L2 misses" 0 (s.Hierarchy.seq_misses + s.Hierarchy.rand_misses);
+  (* Scanning 128 KB through a 16 KB L1 still pays one B1 per line. *)
+  check_int "every line re-promoted from L2" (128 * 1024 / 32) s.Hierarchy.l2_hits;
+  check_bool "cost is B1-dominated" true
+    (s.Hierarchy.cost_ns < float_of_int (128 * 1024 / 32) *. 16.25 *. 1.05)
+
+let test_hierarchy_flush_recolds () =
+  let h = Hierarchy.create p3 in
+  ignore (Hierarchy.access h ~addr:0 ~write:false);
+  Hierarchy.flush h;
+  let c = Hierarchy.access h ~addr:0 ~write:false in
+  check_float "cold again" (p3.Mem_params.tlb_penalty_ns +. p3.Mem_params.b2_penalty_ns) c
+
+let test_hierarchy_invalidate_range () =
+  let h = Hierarchy.create p3 in
+  (* Warm three lines, invalidate the middle byte range, re-access. *)
+  for l = 0 to 2 do
+    ignore (Hierarchy.access h ~addr:(l * 32) ~write:false)
+  done;
+  ignore (Hierarchy.access h ~addr:32 ~write:false);
+  (* warm: hits *)
+  Hierarchy.invalidate_range h ~addr:32 ~bytes:32;
+  Hierarchy.reset_stats h;
+  ignore (Hierarchy.access h ~addr:0 ~write:false);
+  ignore (Hierarchy.access h ~addr:32 ~write:false);
+  ignore (Hierarchy.access h ~addr:64 ~write:false);
+  let s = Hierarchy.stats h in
+  check_int "only the invalidated line re-misses" 1
+    (s.Hierarchy.seq_misses + s.Hierarchy.rand_misses);
+  check_int "neighbours still hit in L1" 2 s.Hierarchy.l1_hits
+
+let test_hierarchy_invalidate_range_spans_lines () =
+  let h = Hierarchy.create p3 in
+  for l = 0 to 9 do
+    ignore (Hierarchy.access h ~addr:(l * 32) ~write:false)
+  done;
+  (* 2..8 inclusive: bytes 70..270 overlap lines 2 through 8. *)
+  Hierarchy.invalidate_range h ~addr:70 ~bytes:200;
+  Hierarchy.reset_stats h;
+  for l = 0 to 9 do
+    ignore (Hierarchy.access h ~addr:(l * 32) ~write:false)
+  done;
+  let s = Hierarchy.stats h in
+  check_int "7 lines re-missed" 7 (s.Hierarchy.seq_misses + s.Hierarchy.rand_misses)
+
+let test_pentium4_profile_sane () =
+  let p = Mem_params.pentium4 in
+  check_int "wide lines" 128 p.Mem_params.l2_line;
+  check_int "words per line" 32 (Mem_params.words_per_line p);
+  let h = Hierarchy.create p in
+  let c = Hierarchy.access h ~addr:0 ~write:false in
+  check_float "cold miss costs tlb+b2"
+    (p.Mem_params.tlb_penalty_ns +. p.Mem_params.b2_penalty_ns) c
+
+let test_hierarchy_stats_add () =
+  let a =
+    { Hierarchy.zero_stats with Hierarchy.accesses = 3; cost_ns = 10.0 }
+  in
+  let b =
+    { Hierarchy.zero_stats with Hierarchy.accesses = 4; cost_ns = 2.5 }
+  in
+  let c = Hierarchy.add_stats a b in
+  check_int "accesses" 7 c.Hierarchy.accesses;
+  check_float "cost" 12.5 c.Hierarchy.cost_ns
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "cachesim"
+    [
+      ( "cache",
+        [
+          tc "geometry" `Quick test_cache_geometry;
+          tc "miss then hit" `Quick test_cache_miss_then_hit;
+          tc "LRU eviction" `Quick test_cache_lru_eviction;
+          tc "dirty writeback" `Quick test_cache_dirty_writeback;
+          tc "clean eviction" `Quick test_cache_clean_eviction_no_writeback;
+          tc "write hit dirties" `Quick test_cache_write_hit_sets_dirty;
+          tc "invalidate" `Quick test_cache_invalidate;
+          tc "flush" `Quick test_cache_flush;
+          tc "stats" `Quick test_cache_stats_counting;
+          tc "fully associative" `Quick test_cache_fully_associative;
+          tc "bad geometry" `Quick test_cache_bad_geometry_rejected;
+        ] );
+      ( "prefetcher",
+        [
+          tc "detects stream" `Quick test_prefetcher_detects_stream;
+          tc "interleaved streams" `Quick test_prefetcher_interleaved_streams;
+          tc "capacity thrash" `Quick test_prefetcher_capacity_thrash;
+          tc "counters" `Quick test_prefetcher_counters;
+        ] );
+      ( "params",
+        [
+          tc "pentium3 = Table 2" `Quick test_params_pentium3_table2;
+          tc "random bandwidth" `Quick test_params_random_bw_matches_measurement;
+        ] );
+      ( "hierarchy",
+        [
+          tc "cost by level" `Quick test_hierarchy_costs_by_level;
+          tc "L2 hit cost" `Quick test_hierarchy_l2_hit_cost;
+          tc "sequential stream" `Quick test_hierarchy_sequential_stream_cheap;
+          tc "random pattern" `Quick test_hierarchy_random_pattern_expensive;
+          tc "TLB page granularity" `Quick test_hierarchy_tlb_page_granularity;
+          tc "writeback" `Quick test_hierarchy_writeback_charged;
+          tc "resident set settles" `Quick test_hierarchy_working_set_within_l2_settles;
+          tc "flush recolds" `Quick test_hierarchy_flush_recolds;
+          tc "invalidate range" `Quick test_hierarchy_invalidate_range;
+          tc "invalidate spans lines" `Quick test_hierarchy_invalidate_range_spans_lines;
+          tc "pentium4 profile" `Quick test_pentium4_profile_sane;
+          tc "stats add" `Quick test_hierarchy_stats_add;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cache_resident_after_fill; prop_cache_occupancy_bounded ] );
+    ]

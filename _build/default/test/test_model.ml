@@ -1,0 +1,289 @@
+(* Tests for the analytical model (Appendix A): XD occupancy function,
+   per-method predictions and technology trends. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+let p3 = Cachesim.Mem_params.pentium3
+
+(* ------------------------------------------------------------------ *)
+(* Xd *)
+
+let test_xd_edge_cases () =
+  check_float "q=0 touches nothing" 0.0 (Model.Xd.xd ~lambda:100.0 ~q:0.0);
+  check_float "one lookup touches one line" 1.0 (Model.Xd.xd ~lambda:100.0 ~q:1.0);
+  check_float "lambda=1 saturates immediately" 1.0 (Model.Xd.xd ~lambda:1.0 ~q:5.0)
+
+let test_xd_monotone_in_q () =
+  let prev = ref 0.0 in
+  List.iter
+    (fun q ->
+      let v = Model.Xd.xd ~lambda:1000.0 ~q in
+      check_bool "monotone" true (v >= !prev);
+      prev := v)
+    [ 1.0; 2.0; 10.0; 100.0; 1000.0; 10000.0; 1e6 ]
+
+let test_xd_bounded_by_lambda () =
+  List.iter
+    (fun (lambda, q) ->
+      let v = Model.Xd.xd ~lambda ~q in
+      check_bool "0 <= xd" true (v >= 0.0);
+      check_bool "xd <= lambda" true (v <= lambda))
+    [ (1.0, 10.0); (10.0, 1.0); (1e6, 1e9); (5.0, 1e12) ]
+
+let test_xd_saturates () =
+  (* Huge q touches essentially every line. *)
+  let v = Model.Xd.xd ~lambda:100.0 ~q:1e9 in
+  check_bool "saturated" true (v > 99.9999)
+
+let test_xd_matches_direct_formula () =
+  (* Against the naive formula where it is numerically safe. *)
+  let lambda = 50.0 and q = 20.0 in
+  let direct = lambda *. (1.0 -. ((1.0 -. (1.0 /. lambda)) ** q)) in
+  check_float "stable = direct" direct (Model.Xd.xd ~lambda ~q)
+
+let test_level_lines () =
+  let l = Model.Xd.level_lines ~fanout:4 ~levels:3 ~lines_per_node:1 in
+  Alcotest.(check (array (float 1e-9))) "powers of fanout" [| 1.0; 4.0; 16.0 |] l
+
+let test_of_level_nodes () =
+  let l = Model.Xd.of_level_nodes [| 1; 3; 9 |] ~lines_per_node:2 in
+  Alcotest.(check (array (float 1e-9))) "nodes x lines" [| 2.0; 6.0; 18.0 |] l
+
+let test_expected_distinct_sums () =
+  let lambdas = [| 1.0; 4.0 |] in
+  check_float "sum of levels"
+    (Model.Xd.xd ~lambda:1.0 ~q:3.0 +. Model.Xd.xd ~lambda:4.0 ~q:3.0)
+    (Model.Xd.expected_distinct lambdas ~q:3.0)
+
+let test_q0_none_when_tree_fits () =
+  let lambdas = [| 1.0; 4.0; 16.0 |] in
+  (* 21 lines, cache of 100: never fills. *)
+  check_bool "fits" true (Model.Xd.q0 lambdas ~cache_lines:100.0 = None)
+
+let test_q0_solves_equation () =
+  let lambdas = Model.Xd.level_lines ~fanout:4 ~levels:8 ~lines_per_node:1 in
+  let cache = 1000.0 in
+  match Model.Xd.q0 lambdas ~cache_lines:cache with
+  | None -> Alcotest.fail "expected a solution"
+  | Some q ->
+      let occupancy = Model.Xd.expected_distinct lambdas ~q in
+      check_bool
+        (Printf.sprintf "occupancy(q0)=%.3f ~ %.0f" occupancy cache)
+        true
+        (Float.abs (occupancy -. cache) < 1.0)
+
+let test_steady_misses_zero_for_resident_tree () =
+  let lambdas = Model.Xd.level_lines ~fanout:4 ~levels:4 ~lines_per_node:1 in
+  check_float "no misses" 0.0 (Model.Xd.steady_misses lambdas ~cache_lines:1e6)
+
+let test_steady_misses_bounded_by_levels () =
+  let levels = 9 in
+  let lambdas = Model.Xd.level_lines ~fanout:4 ~levels ~lines_per_node:1 in
+  let m = Model.Xd.steady_misses lambdas ~cache_lines:1000.0 in
+  check_bool "positive" true (m > 0.0);
+  check_bool "at most one miss per level" true (m <= float_of_int levels)
+
+let test_steady_misses_decrease_with_cache () =
+  let lambdas = Model.Xd.level_lines ~fanout:4 ~levels:9 ~lines_per_node:1 in
+  let m1 = Model.Xd.steady_misses lambdas ~cache_lines:100.0 in
+  let m2 = Model.Xd.steady_misses lambdas ~cache_lines:10000.0 in
+  check_bool "bigger cache, fewer misses" true (m2 < m1)
+
+let test_cold_misses_per_lookup () =
+  let lambdas = [| 1.0 |] in
+  (* A single line: q lookups touch it once; per-lookup = 1/q. *)
+  check_float "amortised" 0.01 (Model.Xd.cold_misses_per_lookup lambdas ~q:100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Predict *)
+
+let shape_for ~levels ~fanout =
+  let counts = Array.init levels (fun i -> int_of_float (float_of_int fanout ** float_of_int i)) in
+  Model.Predict.shape_of_counts counts ~lines_per_node:1
+
+let test_method_a_dominated_by_misses () =
+  let shape = shape_for ~levels:10 ~fanout:4 in
+  let cost = Model.Predict.method_a p3 shape ~normalize_nodes:1 in
+  (* At least the computation floor... *)
+  check_bool "above comp floor" true (cost > 10.0 *. 30.0);
+  (* ...and a cache-resident tree costs much less. *)
+  let small = shape_for ~levels:4 ~fanout:4 in
+  let cheap = Model.Predict.method_a p3 small ~normalize_nodes:1 in
+  check_bool "big tree much dearer" true (cost > cheap +. 100.0)
+
+let test_method_a_normalization () =
+  let shape = shape_for ~levels:10 ~fanout:4 in
+  let c1 = Model.Predict.method_a p3 shape ~normalize_nodes:1 in
+  let c11 = Model.Predict.method_a p3 shape ~normalize_nodes:11 in
+  check_float "divided by 11" (c1 /. 11.0) c11
+
+let test_method_b_beats_a_out_of_cache () =
+  (* Zhou-Ross pays off once the batch is large enough to amortise the
+     subtree loads (batch >> tree lines) — the paper's reason Method B
+     needs 256 KB batches where C-3 needs 64 KB. *)
+  let shape = shape_for ~levels:10 ~fanout:4 in
+  let a = Model.Predict.method_a p3 shape ~normalize_nodes:11 in
+  let b =
+    Model.Predict.method_b p3 shape ~group_levels:7 ~batch_keys:(1 lsl 20)
+      ~normalize_nodes:11
+  in
+  check_bool (Printf.sprintf "B %.1f < A %.1f" b a) true (b < a)
+
+let test_method_b_improves_with_batch () =
+  let shape = shape_for ~levels:10 ~fanout:4 in
+  let b_small =
+    Model.Predict.method_b p3 shape ~group_levels:7 ~batch_keys:2048
+      ~normalize_nodes:11
+  in
+  let b_big =
+    Model.Predict.method_b p3 shape ~group_levels:7 ~batch_keys:262144
+      ~normalize_nodes:11
+  in
+  check_bool "bigger batches amortise subtree loads" true (b_big < b_small)
+
+let test_method_c3_beats_b_paper_config () =
+  (* The headline: C-3 < B < A at the paper's configuration. *)
+  let shape = shape_for ~levels:10 ~fanout:4 in
+  let a = Model.Predict.method_a p3 shape ~normalize_nodes:11 in
+  let b =
+    Model.Predict.method_b p3 shape ~group_levels:7 ~batch_keys:32768
+      ~normalize_nodes:11
+  in
+  let c =
+    Model.Predict.method_c3 p3 Netsim.Profile.myrinet ~slave_keys:32768
+      ~n_masters:1 ~n_slaves:10
+  in
+  check_bool (Printf.sprintf "C-3 %.1f < B %.1f" c b) true (c < b);
+  check_bool (Printf.sprintf "C-3 %.1f < A %.1f" c a) true (c < a)
+
+let test_method_c_master_floor () =
+  (* With one master, C-3 can never beat the master NIC occupancy. *)
+  let c =
+    Model.Predict.method_c3 p3 Netsim.Profile.myrinet ~slave_keys:32768
+      ~n_masters:1 ~n_slaves:1000
+  in
+  let floor = Model.Predict.master_bound_ns Netsim.Profile.myrinet ~n_masters:1 in
+  check_bool "slaves cannot push below master NIC" true (c >= floor);
+  check_float "floor is 4/W2" (4.0 /. 0.138) floor
+
+let test_method_c_scales_with_slaves () =
+  let c10 =
+    Model.Predict.method_c3 p3 Netsim.Profile.myrinet ~slave_keys:32768
+      ~n_masters:4 ~n_slaves:10
+  in
+  let c20 =
+    Model.Predict.method_c3 p3 Netsim.Profile.myrinet ~slave_keys:32768
+      ~n_masters:4 ~n_slaves:20
+  in
+  check_bool "more slaves, faster" true (c20 < c10)
+
+let test_method_c_bad_args () =
+  check_bool "no slaves rejected" true
+    (match
+       Model.Predict.method_c3 p3 Netsim.Profile.myrinet ~slave_keys:10
+         ~n_masters:1 ~n_slaves:0
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Trends *)
+
+let test_trend_factors () =
+  check_float "cpu doubles per 18mo" 0.5 (Model.Trends.cpu_factor ~years:1.5);
+  check_float "net doubles per 3y" 2.0 (Model.Trends.net_factor ~years:3.0);
+  check_float "mem +20%/y" 1.2 (Model.Trends.mem_bw_factor ~years:1.0);
+  check_float "year zero is identity" 1.0 (Model.Trends.cpu_factor ~years:0.0)
+
+let test_scale_mem_fields () =
+  let p = Model.Trends.scale_mem p3 ~years:3.0 in
+  check_float "comp shrinks 4x" (30.0 /. 4.0) p.Cachesim.Mem_params.comp_cost_node_ns;
+  check_float "B2 constant" 110.0 p.Cachesim.Mem_params.b2_penalty_ns;
+  check_float "B1 tracks clock" (16.25 /. 4.0) p.Cachesim.Mem_params.b1_penalty_ns;
+  check_bool "W1 grows" true
+    (p.Cachesim.Mem_params.mem_seq_bw > p3.Cachesim.Mem_params.mem_seq_bw)
+
+let test_scale_net_fields () =
+  let n = Model.Trends.scale_net Netsim.Profile.myrinet ~years:3.0 in
+  check_float "W2 doubles" (0.138 *. 2.0) n.Netsim.Profile.bandwidth;
+  check_float "latency constant" 7000.0 n.Netsim.Profile.latency_ns;
+  check_bool "host overhead shrinks with CPU" true
+    (n.Netsim.Profile.host_overhead_ns
+    < Netsim.Profile.myrinet.Netsim.Profile.host_overhead_ns)
+
+let test_trend_c3_advantage_grows () =
+  (* The paper's Figure 4 claim, as a property of the model. *)
+  let shape = shape_for ~levels:10 ~fanout:4 in
+  let ratio years =
+    let p = Model.Trends.scale_mem p3 ~years in
+    let net = Model.Trends.scale_net Netsim.Profile.myrinet ~years in
+    let b =
+      Model.Predict.method_b p shape ~group_levels:7 ~batch_keys:32768
+        ~normalize_nodes:11
+    in
+    let c =
+      Model.Predict.method_c3 p net ~slave_keys:32768 ~n_masters:10 ~n_slaves:10
+    in
+    b /. c
+  in
+  let r0 = ratio 0.0 and r5 = ratio 5.0 in
+  check_bool (Printf.sprintf "ratio grows: %.2f -> %.2f" r0 r5) true (r5 > 2.0 *. r0)
+
+(* Property tests *)
+
+let prop_xd_bounds =
+  QCheck.Test.make ~name:"xd within [0, lambda]" ~count:500
+    QCheck.(pair (float_range 1.0 1e6) (float_range 0.0 1e8))
+    (fun (lambda, q) ->
+      let v = Model.Xd.xd ~lambda ~q in
+      v >= 0.0 && v <= lambda +. 1e-9)
+
+let prop_xd_monotone =
+  QCheck.Test.make ~name:"xd monotone in q" ~count:300
+    QCheck.(triple (float_range 1.0 1e5) (float_range 0.0 1e6) (float_range 0.0 1e6))
+    (fun (lambda, q1, q2) ->
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Model.Xd.xd ~lambda ~q:lo <= Model.Xd.xd ~lambda ~q:hi +. 1e-9)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "model"
+    [
+      ( "xd",
+        [
+          tc "edge cases" `Quick test_xd_edge_cases;
+          tc "monotone" `Quick test_xd_monotone_in_q;
+          tc "bounded" `Quick test_xd_bounded_by_lambda;
+          tc "saturates" `Quick test_xd_saturates;
+          tc "matches direct formula" `Quick test_xd_matches_direct_formula;
+          tc "level lines" `Quick test_level_lines;
+          tc "of level nodes" `Quick test_of_level_nodes;
+          tc "expected distinct" `Quick test_expected_distinct_sums;
+          tc "q0 none when fits" `Quick test_q0_none_when_tree_fits;
+          tc "q0 solves equation" `Quick test_q0_solves_equation;
+          tc "steady misses: resident" `Quick test_steady_misses_zero_for_resident_tree;
+          tc "steady misses: bounded" `Quick test_steady_misses_bounded_by_levels;
+          tc "steady misses: cache size" `Quick test_steady_misses_decrease_with_cache;
+          tc "cold misses" `Quick test_cold_misses_per_lookup;
+        ] );
+      ( "predict",
+        [
+          tc "A miss-dominated" `Quick test_method_a_dominated_by_misses;
+          tc "A normalization" `Quick test_method_a_normalization;
+          tc "B beats A" `Quick test_method_b_beats_a_out_of_cache;
+          tc "B batch amortisation" `Quick test_method_b_improves_with_batch;
+          tc "C-3 beats B (paper config)" `Quick test_method_c3_beats_b_paper_config;
+          tc "C master floor" `Quick test_method_c_master_floor;
+          tc "C slave scaling" `Quick test_method_c_scales_with_slaves;
+          tc "C bad args" `Quick test_method_c_bad_args;
+        ] );
+      ( "trends",
+        [
+          tc "factors" `Quick test_trend_factors;
+          tc "scale mem" `Quick test_scale_mem_fields;
+          tc "scale net" `Quick test_scale_net_fields;
+          tc "C-3 advantage grows" `Quick test_trend_c3_advantage_grows;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_xd_bounds; prop_xd_monotone ] );
+    ]

