@@ -15,6 +15,19 @@ open Toolkit
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures (built once, outside the timed regions) *)
 
+(* The only flag: `--jobs N` (worker domains for the sweep-shaped
+   artefacts below; default cores - 1, floor 1). *)
+let jobs =
+  let rec go = function
+    | "--jobs" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> n
+        | _ -> invalid_arg "bench: --jobs expects a positive integer")
+    | _ :: rest -> go rest
+    | [] -> Exec.Sweep.default_jobs ()
+  in
+  go (Array.to_list Sys.argv)
+
 let bench_scenario =
   {
     Workload.Scenario.paper with
@@ -101,10 +114,20 @@ let test_mpi_collectives =
      done;
      Simcore.Engine.run eng)
 
+let test_pool_overhead =
+  (* Cost of fanning 64 trivial jobs over the pool: the executor's fixed
+     overhead, to be compared against a multi-ms simulation job. *)
+  Test.make ~name:(Printf.sprintf "exec/pool-64-jobs-%dw" jobs)
+    (Staged.stage @@ fun () ->
+     ignore
+       (Exec.Sweep.map ~jobs ~f:(fun i -> i * i)
+          (List.init 64 (fun i -> i))))
+
 let micro_tests =
   Test.make_grouped ~name:"micro"
     [ test_sorted_array; test_nary; test_csb; test_buffered;
-      test_eytzinger; test_cache_access; test_engine; test_mpi_collectives ]
+      test_eytzinger; test_cache_access; test_engine; test_mpi_collectives;
+      test_pool_overhead ]
 
 (* ------------------------------------------------------------------ *)
 (* One test per paper artefact *)
@@ -219,23 +242,32 @@ let print_paper_shapes () =
   print_endline "\n--- Table 2 ---";
   print_string
     (Report.Table.render (Dispatch.Experiment.table2 ~scenario:bench_scenario ()));
-  print_endline "\n--- Figure 3 (reduced sweep) ---";
+  Printf.printf "\n--- Figure 3 (reduced sweep, %d worker domain%s) ---\n"
+    jobs (if jobs = 1 then "" else "s");
   let sweep_sc =
     { bench_scenario with Workload.Scenario.n_queries = 1 lsl 17 }
   in
-  let rows =
-    Dispatch.Experiment.fig3 ~scenario:sweep_sc
-      ~batches:[ 8 * 1024; 32 * 1024; 128 * 1024; 512 * 1024 ]
-      ()
+  let spec =
+    Dispatch.Experiment.Spec.default
+    |> Dispatch.Experiment.Spec.with_scenario sweep_sc
+    |> Dispatch.Experiment.Spec.with_batches
+         [ 8 * 1024; 32 * 1024; 128 * 1024; 512 * 1024 ]
+    |> Dispatch.Experiment.Spec.with_jobs jobs
   in
+  let rows = Dispatch.Experiment.fig3 ~spec () in
   print_string (Dispatch.Experiment.render_fig3 ~scenario:sweep_sc rows);
   print_endline "\n--- Table 3 ---";
   let t3_sc =
     { bench_scenario with Workload.Scenario.n_queries = 1 lsl 18 }
   in
+  let t3_spec =
+    Dispatch.Experiment.Spec.default
+    |> Dispatch.Experiment.Spec.with_scenario t3_sc
+    |> Dispatch.Experiment.Spec.with_jobs jobs
+  in
   print_string
     (Dispatch.Experiment.render_table3 ~scenario:t3_sc
-       (Dispatch.Experiment.table3 ~scenario:t3_sc ()));
+       (Dispatch.Experiment.table3 ~spec:t3_spec ()));
   print_endline "\n--- Figure 4 ---";
   print_string
     (Dispatch.Experiment.render_fig4

@@ -1,12 +1,17 @@
 (* Command-line driver that regenerates every table and figure of the
-   paper, plus the ablation studies.  `repro --help` lists subcommands. *)
+   paper, plus the ablation studies.  `repro --help` lists subcommands.
+
+   All subcommands share one Spec-producing term: every flag below folds
+   into a single Dispatch.Experiment.Spec.t, so adding a new flag is a
+   matter of declaring its Arg and one line in [build]. *)
 
 open Cmdliner
+module Spec = Dispatch.Experiment.Spec
 
 let kib n = n * 1024
 
 (* ------------------------------------------------------------------ *)
-(* Shared options *)
+(* Shared options: one term, one Spec *)
 
 let scale_arg =
   let doc =
@@ -43,156 +48,15 @@ let seed_arg =
   let doc = "Workload seed." in
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let csv_arg =
-  let doc = "Also write raw results to $(docv)." in
-  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
-
-let scenario_term =
-  let build scale queries keys nodes masters batch network seed =
-    let base =
-      match String.lowercase_ascii scale with
-      | "paper" -> Ok Workload.Scenario.paper
-      | "scaled" -> Ok Workload.Scenario.scaled
-      | "ci" -> Ok Workload.Scenario.ci
-      | other -> Error (`Msg (Printf.sprintf "unknown scale %S" other))
-    in
-    let net =
-      match String.lowercase_ascii network with
-      | "myrinet" -> Ok Netsim.Profile.myrinet
-      | "gige" | "gigabit" | "gigabit-ethernet" -> Ok Netsim.Profile.gigabit_ethernet
-      | "fast-ethernet" | "ethernet" -> Ok Netsim.Profile.fast_ethernet
-      | other -> Error (`Msg (Printf.sprintf "unknown network %S" other))
-    in
-    match (base, net) with
-    | Error e, _ | _, Error e -> Error e
-    | Ok sc, Ok net ->
-        let sc = { sc with Workload.Scenario.net } in
-        let sc =
-          match queries with
-          | Some q -> { sc with Workload.Scenario.n_queries = q }
-          | None -> sc
-        in
-        let sc =
-          match keys with
-          | Some k -> { sc with Workload.Scenario.n_keys = k }
-          | None -> sc
-        in
-        let sc =
-          match nodes with
-          | Some n -> { sc with Workload.Scenario.n_nodes = n }
-          | None -> sc
-        in
-        let sc =
-          match masters with
-          | Some m -> { sc with Workload.Scenario.n_masters = m }
-          | None -> sc
-        in
-        let sc =
-          match batch with
-          | Some b -> Workload.Scenario.with_batch sc (kib b)
-          | None -> sc
-        in
-        let sc =
-          match seed with
-          | Some s -> { sc with Workload.Scenario.seed = s }
-          | None -> sc
-        in
-        Ok sc
+let jobs_arg =
+  let doc =
+    "Worker domains for simulation sweeps (default: available cores minus \
+     one, at least 1).  Results are byte-identical at any value."
   in
-  Term.(
-    term_result ~usage:true
-      (const build $ scale_arg $ queries_arg $ keys_arg $ nodes_arg
-     $ masters_arg $ batch_arg $ network_arg $ seed_arg))
-
-let say fmt = Format.printf (fmt ^^ "@.")
-
-(* ------------------------------------------------------------------ *)
-(* Subcommands *)
-
-let run_table1 sc =
-  say "%a@\n" Workload.Scenario.pp sc;
-  say "Table 1: the index structure setup@\n@\n%s"
-    (Report.Table.render (Dispatch.Experiment.table1 ~scenario:sc ()))
-
-let run_table2 sc =
-  say "Table 2: parameters measured on the simulated cluster@\n@\n%s"
-    (Report.Table.render (Dispatch.Experiment.table2 ~scenario:sc ()))
-
-let run_table3 sc =
-  say "%a@\n" Workload.Scenario.pp sc;
-  let rows = Dispatch.Experiment.table3 ~scenario:sc () in
-  print_string (Dispatch.Experiment.render_table3 ~scenario:sc rows)
-
-let run_fig3 sc csv methods =
-  say "%a@\n" Workload.Scenario.pp sc;
-  let methods =
-    match methods with
-    | [] -> Dispatch.Methods.all
-    | ms -> ms
-  in
-  let rows = Dispatch.Experiment.fig3 ~scenario:sc ~methods () in
-  print_string (Dispatch.Experiment.render_fig3 ~scenario:sc rows);
-  match csv with
-  | None -> ()
-  | Some path ->
-      let flat =
-        List.concat_map
-          (fun { Dispatch.Experiment.results; _ } ->
-            List.map Dispatch.Run_result.to_cells results)
-          rows
-      in
-      Report.Csv.save ~path ~header:Dispatch.Run_result.header flat;
-      say "wrote %s" path
-
-let run_fig4 sc years =
-  say "%a@\n" Workload.Scenario.pp sc;
-  print_string (Dispatch.Experiment.render_fig4 (Dispatch.Experiment.fig4 ~scenario:sc ~years ()))
-
-let run_ablation sc which =
-  let table =
-    match String.lowercase_ascii which with
-    | "batch-overhead" -> Ok (Dispatch.Ablation.batch_overhead ~scenario:sc ())
-    | "network" -> Ok (Dispatch.Ablation.network ~scenario:sc ())
-    | "skew" -> Ok (Dispatch.Ablation.skew ~scenario:sc ())
-    | "masters" -> Ok (Dispatch.Ablation.masters ~scenario:sc ())
-    | "linesize" | "line-size" -> Ok (Dispatch.Ablation.line_size ~scenario:sc ())
-    | "slave-structure" -> Ok (Dispatch.Ablation.slave_structure ~scenario:sc ())
-    | "structures" -> Ok (Dispatch.Ablation.structures ~scenario:sc ())
-    | "hierarchy" -> Ok (Dispatch.Ablation.hierarchy ~scenario:sc ())
-    | other -> Error other
-  in
-  match table with
-  | Ok t ->
-      say "%a@\n" Workload.Scenario.pp sc;
-      say "ablation %s:@\n@\n%s" which (Report.Table.render t);
-      `Ok ()
-  | Error other ->
-      `Error
-        ( false,
-          Printf.sprintf
-            "unknown ablation %S (batch-overhead | network | skew | masters \
-             | linesize | slave-structure | structures | hierarchy)"
-            other )
-
-let run_timeline sc methods =
-  let method_id =
-    match methods with m :: _ -> m | [] -> Dispatch.Methods.C3
-  in
-  say "%a@\n" Workload.Scenario.pp sc;
-  print_string (Dispatch.Experiment.timeline ~scenario:sc ~method_id ())
-
-let run_all sc =
-  run_table1 sc;
-  run_table2 sc;
-  run_fig3 sc None [];
-  run_table3 sc;
-  run_fig4 sc 5
-
-(* ------------------------------------------------------------------ *)
-(* Command wiring *)
-
-let cmd_of name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ scenario_term)
+  Arg.(
+    value
+    & opt int (Exec.Sweep.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let methods_arg =
   let doc = "Comma-separated methods to run (A,B,C-1,C-2,C-3)." in
@@ -216,6 +80,144 @@ let methods_arg =
     & opt (conv (parse, print)) []
     & info [ "methods" ] ~docv:"METHODS" ~doc)
 
+let csv_arg =
+  let doc = "Also write raw results to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+(* Apply an optional override; absent flags leave the value untouched. *)
+let override v f x = match v with Some v -> f v x | None -> x
+
+let spec_term =
+  let build scale queries keys nodes masters batch network seed jobs methods =
+    let base =
+      match String.lowercase_ascii scale with
+      | "paper" -> Ok Workload.Scenario.paper
+      | "scaled" -> Ok Workload.Scenario.scaled
+      | "ci" -> Ok Workload.Scenario.ci
+      | other -> Error (`Msg (Printf.sprintf "unknown scale %S" other))
+    in
+    let net =
+      match String.lowercase_ascii network with
+      | "myrinet" -> Ok Netsim.Profile.myrinet
+      | "gige" | "gigabit" | "gigabit-ethernet" -> Ok Netsim.Profile.gigabit_ethernet
+      | "fast-ethernet" | "ethernet" -> Ok Netsim.Profile.fast_ethernet
+      | other -> Error (`Msg (Printf.sprintf "unknown network %S" other))
+    in
+    match (base, net) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok sc, Ok net ->
+        let sc =
+          { sc with Workload.Scenario.net }
+          |> override queries (fun q sc -> { sc with Workload.Scenario.n_queries = q })
+          |> override keys (fun k sc -> { sc with Workload.Scenario.n_keys = k })
+          |> override nodes (fun n sc -> { sc with Workload.Scenario.n_nodes = n })
+          |> override masters (fun m sc -> { sc with Workload.Scenario.n_masters = m })
+          |> override batch (fun b sc -> Workload.Scenario.with_batch sc (kib b))
+        in
+        Ok
+          (Spec.default
+          |> Spec.with_scenario sc
+          |> Spec.with_jobs jobs
+          |> (match methods with [] -> Fun.id | ms -> Spec.with_methods ms)
+          |> override seed Spec.with_seed)
+  in
+  Term.(
+    term_result ~usage:true
+      (const build $ scale_arg $ queries_arg $ keys_arg $ nodes_arg
+     $ masters_arg $ batch_arg $ network_arg $ seed_arg $ jobs_arg
+     $ methods_arg))
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands *)
+
+let run_table1 spec =
+  say "%a@\n" Workload.Scenario.pp (Spec.scenario spec);
+  say "Table 1: the index structure setup@\n@\n%s"
+    (Report.Table.render (Dispatch.Experiment.table1 ~spec ()))
+
+let run_table2 spec =
+  say "Table 2: parameters measured on the simulated cluster@\n@\n%s"
+    (Report.Table.render (Dispatch.Experiment.table2 ~spec ()))
+
+let run_table3 spec =
+  let sc = Spec.scenario spec in
+  say "%a@\n" Workload.Scenario.pp sc;
+  let rows = Dispatch.Experiment.table3 ~spec () in
+  print_string (Dispatch.Experiment.render_table3 ~scenario:sc rows)
+
+let run_fig3 spec csv =
+  let sc = Spec.scenario spec in
+  say "%a@\n" Workload.Scenario.pp sc;
+  let rows = Dispatch.Experiment.fig3 ~spec () in
+  print_string (Dispatch.Experiment.render_fig3 ~scenario:sc rows);
+  match csv with
+  | None -> ()
+  | Some path ->
+      let flat =
+        List.concat_map
+          (fun { Dispatch.Experiment.results; _ } ->
+            List.map Dispatch.Run_result.to_cells results)
+          rows
+      in
+      Report.Csv.save ~path ~header:Dispatch.Run_result.header flat;
+      say "wrote %s" path
+
+let run_fig4 spec years =
+  say "%a@\n" Workload.Scenario.pp (Spec.scenario spec);
+  print_string
+    (Dispatch.Experiment.render_fig4 (Dispatch.Experiment.fig4 ~spec ~years ()))
+
+let run_ablation spec which =
+  let table =
+    match String.lowercase_ascii which with
+    | "batch-overhead" -> Ok (Dispatch.Ablation.batch_overhead ~spec ())
+    | "network" -> Ok (Dispatch.Ablation.network ~spec ())
+    | "skew" -> Ok (Dispatch.Ablation.skew ~spec ())
+    | "masters" -> Ok (Dispatch.Ablation.masters ~spec ())
+    | "linesize" | "line-size" -> Ok (Dispatch.Ablation.line_size ~spec ())
+    | "slave-structure" -> Ok (Dispatch.Ablation.slave_structure ~spec ())
+    | "structures" -> Ok (Dispatch.Ablation.structures ~spec ())
+    | "hierarchy" -> Ok (Dispatch.Ablation.hierarchy ~spec ())
+    | other -> Error other
+  in
+  match table with
+  | Ok t ->
+      say "%a@\n" Workload.Scenario.pp (Spec.scenario spec);
+      say "ablation %s:@\n@\n%s" which (Report.Table.render t);
+      `Ok ()
+  | Error other ->
+      `Error
+        ( false,
+          Printf.sprintf
+            "unknown ablation %S (batch-overhead | network | skew | masters \
+             | linesize | slave-structure | structures | hierarchy)"
+            other )
+
+let run_timeline spec =
+  (* C-3 unless --methods narrows the set; the timeline traces one run. *)
+  let method_id =
+    match spec.Spec.methods with
+    | m :: _ when spec.Spec.methods <> Dispatch.Methods.all -> m
+    | _ -> Dispatch.Methods.C3
+  in
+  say "%a@\n" Workload.Scenario.pp (Spec.scenario spec);
+  print_string (Dispatch.Experiment.timeline ~spec ~method_id ())
+
+let run_all spec =
+  run_table1 spec;
+  run_table2 spec;
+  run_fig3 spec None;
+  run_table3 spec;
+  run_fig4 spec 5
+
+(* ------------------------------------------------------------------ *)
+(* Command wiring *)
+
+let cmd_of name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ spec_term)
+
 let table1_cmd = cmd_of "table1" "Reproduce Table 1 (index structure setup)." run_table1
 let table2_cmd = cmd_of "table2" "Reproduce Table 2 (measured machine parameters)." run_table2
 let table3_cmd = cmd_of "table3" "Reproduce Table 3 (model vs simulation)." run_table3
@@ -223,7 +225,7 @@ let table3_cmd = cmd_of "table3" "Reproduce Table 3 (model vs simulation)." run_
 let fig3_cmd =
   Cmd.v
     (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (search time vs batch size).")
-    Term.(const run_fig3 $ scenario_term $ csv_arg $ methods_arg)
+    Term.(const run_fig3 $ spec_term $ csv_arg)
 
 let fig4_cmd =
   let years =
@@ -231,7 +233,7 @@ let fig4_cmd =
   in
   Cmd.v
     (Cmd.info "fig4" ~doc:"Reproduce Figure 4 (future technology trends).")
-    Term.(const run_fig4 $ scenario_term $ years)
+    Term.(const run_fig4 $ spec_term $ years)
 
 let ablation_cmd =
   let which =
@@ -245,13 +247,13 @@ let ablation_cmd =
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run an ablation study.")
-    Term.(ret (const run_ablation $ scenario_term $ which))
+    Term.(ret (const run_ablation $ spec_term $ which))
 
 let timeline_cmd =
   Cmd.v
     (Cmd.info "timeline"
        ~doc:"Gantt chart of per-node busy time for one method (default C-3).")
-    Term.(const run_timeline $ scenario_term $ methods_arg)
+    Term.(const run_timeline $ spec_term)
 
 let all_cmd = cmd_of "all" "Run every table and figure in sequence." run_all
 

@@ -1,30 +1,44 @@
-let default_scenario () = Workload.Scenario.scaled
+module Spec = Experiment.Spec
+
 let kib n = n * 1024
 
-let batch_overhead ?scenario ?(batches = [ kib 8; kib 32; kib 128; kib 512; kib 2048; kib 4096 ]) () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+(* Same compatibility convention as {!Experiment}: explicit [?scenario]
+   overrides the spec's field. *)
+let resolve ?spec ?scenario () =
+  let s = Option.value spec ~default:Spec.default in
+  Option.fold ~none:s ~some:(fun sc -> Spec.with_scenario sc s) scenario
+
+let batch_overhead ?spec ?scenario
+    ?(batches = [ kib 8; kib 32; kib 128; kib 512; kib 2048; kib 4096 ]) () =
+  let spec = resolve ?spec ?scenario () in
+  let sc = Spec.scenario spec in
   let keys, queries = Runner.workload sc in
   let tbl =
     Report.Table.create
       ~headers:[ "Batch"; "C-3 ns/key"; "slave idle"; "master busy"; "messages" ]
   in
-  List.iter
-    (fun batch ->
-      let sc = Workload.Scenario.with_batch sc batch in
-      let r = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
-      Report.Table.add_row tbl
-        [
-          Printf.sprintf "%d KB" (batch / 1024);
-          Report.Table.cell_f r.Run_result.per_key_ns;
-          Report.Table.cell_pct r.Run_result.slave_idle;
-          Report.Table.cell_pct r.Run_result.master_busy;
-          string_of_int r.Run_result.messages;
-        ])
-    batches;
+  Exec.Sweep.run ~jobs:spec.Spec.jobs
+    (List.map
+       (fun batch ->
+         Exec.Job.make ~key:batch (fun () ->
+             Runner.run
+               (Workload.Scenario.with_batch sc batch)
+               ~method_id:Methods.C3 ~keys ~queries))
+       batches)
+  |> List.iter (fun (batch, r) ->
+         Report.Table.add_row tbl
+           [
+             Printf.sprintf "%d KB" (batch / 1024);
+             Report.Table.cell_f r.Run_result.per_key_ns;
+             Report.Table.cell_pct r.Run_result.slave_idle;
+             Report.Table.cell_pct r.Run_result.master_busy;
+             string_of_int r.Run_result.messages;
+           ]);
   tbl
 
-let network ?scenario ?profiles () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let network ?spec ?scenario ?profiles () =
+  let spec = resolve ?spec ?scenario () in
+  let sc = Spec.scenario spec in
   let profiles =
     match profiles with
     | Some p -> p
@@ -39,41 +53,85 @@ let network ?scenario ?profiles () =
     :: List.map (fun b -> Printf.sprintf "%d KB ns/key" (b / 1024)) batches
   in
   let tbl = Report.Table.create ~headers in
+  let grid =
+    List.concat_map
+      (fun profile -> List.map (fun batch -> (profile, batch)) batches)
+      profiles
+  in
+  let results =
+    Exec.Sweep.run ~jobs:spec.Spec.jobs
+      (List.map
+         (fun ((profile, batch) as key) ->
+           Exec.Job.make ~key (fun () ->
+               let sc =
+                 { (Workload.Scenario.with_batch sc batch) with
+                   Workload.Scenario.net = profile }
+               in
+               Runner.run sc ~method_id:Methods.C3 ~keys ~queries))
+         grid)
+  in
   List.iter
-    (fun profile ->
+    (fun (profile : Netsim.Profile.t) ->
       let cells =
-        List.map
-          (fun batch ->
-            let sc =
-              { (Workload.Scenario.with_batch sc batch) with Workload.Scenario.net = profile }
-            in
-            let r = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
-            Report.Table.cell_f r.Run_result.per_key_ns)
-          batches
+        List.filter_map
+          (fun (((p : Netsim.Profile.t), _), r) ->
+            if p.Netsim.Profile.name = profile.Netsim.Profile.name then
+              Some (Report.Table.cell_f r.Run_result.per_key_ns)
+            else None)
+          results
       in
       Report.Table.add_row tbl (profile.Netsim.Profile.name :: cells))
     profiles;
   tbl
 
-let skew ?scenario ?(exponents = [ 0.0; 0.5; 1.0 ]) () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let skew ?spec ?scenario ?(exponents = [ 0.0; 0.5; 1.0 ]) () =
+  let spec = resolve ?spec ?scenario () in
+  let sc = Spec.scenario spec in
   let g = Prng.Splitmix.create (sc.Workload.Scenario.seed + 17) in
-  let keys = Workload.Keygen.index_keys (Prng.Splitmix.split g) ~n:sc.Workload.Scenario.n_keys in
+  let keys =
+    Workload.Keygen.index_keys (Prng.Splitmix.split g)
+      ~n:sc.Workload.Scenario.n_keys
+  in
+  (* Query streams are derived by splitting [g] once per exponent, in
+     order, before any job runs — workers never touch a shared PRNG. *)
+  let streams =
+    List.map
+      (fun s ->
+        let gq = Prng.Splitmix.split g in
+        let queries =
+          if s = 0.0 then
+            Workload.Keygen.uniform_queries gq
+              ~n:sc.Workload.Scenario.n_queries
+          else
+            Workload.Keygen.zipf_queries gq ~keys
+              ~n:sc.Workload.Scenario.n_queries ~s
+        in
+        (s, queries))
+      exponents
+  in
+  let results =
+    Exec.Sweep.run ~jobs:spec.Spec.jobs
+      (List.concat_map
+         (fun (s, queries) ->
+           List.map
+             (fun method_id ->
+               Exec.Job.make ~key:(s, method_id) (fun () ->
+                   Runner.run sc ~method_id ~keys ~queries))
+             [ Methods.C3; Methods.B ])
+         streams)
+  in
+  let find s method_id =
+    snd
+      (List.find (fun ((s', m), _) -> s' = s && m = method_id) results)
+  in
   let tbl =
     Report.Table.create
       ~headers:[ "Zipf s"; "C-3 ns/key"; "slave idle"; "B ns/key" ]
   in
   List.iter
     (fun s ->
-      let gq = Prng.Splitmix.split g in
-      let queries =
-        if s = 0.0 then
-          Workload.Keygen.uniform_queries gq ~n:sc.Workload.Scenario.n_queries
-        else
-          Workload.Keygen.zipf_queries gq ~keys ~n:sc.Workload.Scenario.n_queries ~s
-      in
-      let rc = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
-      let rb = Runner.run sc ~method_id:Methods.B ~keys ~queries in
+      let rc = find s Methods.C3 in
+      let rb = find s Methods.B in
       Report.Table.add_row tbl
         [
           Printf.sprintf "%.1f" s;
@@ -84,8 +142,9 @@ let skew ?scenario ?(exponents = [ 0.0; 0.5; 1.0 ]) () =
     exponents;
   tbl
 
-let masters ?scenario ?(counts = [ 1; 2; 4 ]) () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let masters ?spec ?scenario ?(counts = [ 1; 2; 4 ]) () =
+  let spec = resolve ?spec ?scenario () in
+  let sc = Spec.scenario spec in
   let n_slaves = sc.Workload.Scenario.n_nodes - sc.Workload.Scenario.n_masters in
   let slave_keys = (sc.Workload.Scenario.n_keys + n_slaves - 1) / n_slaves in
   let keys, queries = Runner.workload sc in
@@ -97,59 +156,85 @@ let masters ?scenario ?(counts = [ 1; 2; 4 ]) () =
           "model ns/key"; "NIC floor ns/key";
         ]
   in
-  List.iter
-    (fun n_masters ->
-      (* Keep the slave pool fixed; masters are additional nodes. *)
-      let sc =
-        {
-          sc with
-          Workload.Scenario.n_masters;
-          Workload.Scenario.n_nodes = n_slaves + n_masters;
-        }
-      in
-      let r = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
-      let pred =
-        Model.Predict.method_c3 sc.Workload.Scenario.params
-          sc.Workload.Scenario.net ~slave_keys ~n_masters ~n_slaves
-      in
-      Report.Table.add_row tbl
-        [
-          string_of_int n_masters;
-          Report.Table.cell_f r.Run_result.per_key_ns;
-          Report.Table.cell_pct r.Run_result.master_busy;
-          Report.Table.cell_pct r.Run_result.slave_idle;
-          Report.Table.cell_f pred;
-          Report.Table.cell_f
-            (Model.Predict.master_bound_ns sc.Workload.Scenario.net ~n_masters);
-        ])
-    counts;
+  Exec.Sweep.run ~jobs:spec.Spec.jobs
+    (List.map
+       (fun n_masters ->
+         Exec.Job.make ~key:n_masters (fun () ->
+             (* Keep the slave pool fixed; masters are additional nodes. *)
+             let sc =
+               {
+                 sc with
+                 Workload.Scenario.n_masters;
+                 Workload.Scenario.n_nodes = n_slaves + n_masters;
+               }
+             in
+             (sc, Runner.run sc ~method_id:Methods.C3 ~keys ~queries)))
+       counts)
+  |> List.iter (fun (n_masters, (sc, r)) ->
+         let pred =
+           Model.Predict.method_c3 sc.Workload.Scenario.params
+             sc.Workload.Scenario.net ~slave_keys ~n_masters ~n_slaves
+         in
+         Report.Table.add_row tbl
+           [
+             string_of_int n_masters;
+             Report.Table.cell_f r.Run_result.per_key_ns;
+             Report.Table.cell_pct r.Run_result.master_busy;
+             Report.Table.cell_pct r.Run_result.slave_idle;
+             Report.Table.cell_f pred;
+             Report.Table.cell_f
+               (Model.Predict.master_bound_ns sc.Workload.Scenario.net
+                  ~n_masters);
+           ]);
   tbl
 
-let line_size ?scenario () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let line_size ?spec ?scenario () =
+  let spec = resolve ?spec ?scenario () in
+  let sc = Spec.scenario spec in
+  let machines = [ Cachesim.Mem_params.pentium3; Cachesim.Mem_params.pentium4 ] in
+  (* The workload depends only on the seed and counts, not the machine
+     profile, so one generation serves both rows. *)
+  let keys, queries = Runner.workload sc in
+  let results =
+    Exec.Sweep.run ~jobs:spec.Spec.jobs
+      (List.concat_map
+         (fun (params : Cachesim.Mem_params.t) ->
+           List.map
+             (fun method_id ->
+               Exec.Job.make ~key:(params.Cachesim.Mem_params.name, method_id)
+                 (fun () ->
+                   Runner.run
+                     { sc with Workload.Scenario.params }
+                     ~method_id ~keys ~queries))
+             [ Methods.A; Methods.C3 ])
+         machines)
+  in
+  let find name method_id =
+    snd (List.find (fun ((n, m), _) -> n = name && m = method_id) results)
+  in
   let tbl =
     Report.Table.create
       ~headers:[ "Machine"; "A ns/key"; "C-3 ns/key"; "A / C-3" ]
   in
   List.iter
-    (fun params ->
-      let sc = { sc with Workload.Scenario.params } in
-      let keys, queries = Runner.workload sc in
-      let ra = Runner.run sc ~method_id:Methods.A ~keys ~queries in
-      let rc = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
+    (fun (params : Cachesim.Mem_params.t) ->
+      let name = params.Cachesim.Mem_params.name in
+      let ra = find name Methods.A in
+      let rc = find name Methods.C3 in
       Report.Table.add_row tbl
         [
-          params.Cachesim.Mem_params.name;
+          name;
           Report.Table.cell_f ra.Run_result.per_key_ns;
           Report.Table.cell_f rc.Run_result.per_key_ns;
           Report.Table.cell_f
             (ra.Run_result.per_key_ns /. rc.Run_result.per_key_ns);
         ])
-    [ Cachesim.Mem_params.pentium3; Cachesim.Mem_params.pentium4 ];
+    machines;
   tbl
 
-let hierarchy ?scenario () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let hierarchy ?spec ?scenario () =
+  let spec = resolve ?spec ?scenario () in
+  let sc = Spec.scenario spec in
   let keys, queries = Runner.workload sc in
   let tbl =
     Report.Table.create
@@ -159,40 +244,49 @@ let hierarchy ?scenario () =
           "slave idle"; "errors";
         ]
   in
-  let add label nodes (r : Run_result.t) =
-    Report.Table.add_row tbl
-      [
-        label;
-        string_of_int nodes;
-        Report.Table.cell_f r.Run_result.per_key_ns;
-        Simcore.Simtime.to_string r.Run_result.mean_response_ns;
-        Report.Table.cell_pct r.Run_result.master_busy;
-        Report.Table.cell_pct r.Run_result.slave_idle;
-        Report.Table.cell_i r.Run_result.validation_errors;
-      ]
-  in
   let n_slaves = sc.Workload.Scenario.n_nodes - 1 in
   (* Same slave pool everywhere; the dispatch tier varies. *)
-  let flat = Runner.run sc ~method_id:Methods.C3 ~keys ~queries in
-  add "flat (1 master)" sc.Workload.Scenario.n_nodes flat;
-  let mm =
-    Runner.run
-      { sc with Workload.Scenario.n_masters = 3; n_nodes = n_slaves + 3 }
-      ~method_id:Methods.C3 ~keys ~queries
+  let configs =
+    [
+      ( "flat (1 master)", sc.Workload.Scenario.n_nodes,
+        fun () -> Runner.run sc ~method_id:Methods.C3 ~keys ~queries );
+      ( "3 masters", n_slaves + 3,
+        fun () ->
+          Runner.run
+            { sc with Workload.Scenario.n_masters = 3; n_nodes = n_slaves + 3 }
+            ~method_id:Methods.C3 ~keys ~queries );
+    ]
+    @ List.map
+        (fun routers ->
+          ( Printf.sprintf "tree (%d routers)" routers,
+            1 + routers + n_slaves,
+            fun () ->
+              Method_c_hier.run
+                { sc with Workload.Scenario.n_nodes = 1 + routers + n_slaves }
+                ~routers ~variant:Methods.C3 ~keys ~queries () ))
+        [ 2; 3 ]
   in
-  add "3 masters" (n_slaves + 3) mm;
-  List.iter
-    (fun routers ->
-      let sc = { sc with Workload.Scenario.n_nodes = 1 + routers + n_slaves } in
-      let r =
-        Method_c_hier.run sc ~routers ~variant:Methods.C3 ~keys ~queries ()
-      in
-      add (Printf.sprintf "tree (%d routers)" routers) (1 + routers + n_slaves) r)
-    [ 2; 3 ];
+  Exec.Sweep.run ~jobs:spec.Spec.jobs
+    (List.map
+       (fun (label, nodes, work) ->
+         Exec.Job.make ~key:(label, nodes) work)
+       configs)
+  |> List.iter (fun ((label, nodes), (r : Run_result.t)) ->
+         Report.Table.add_row tbl
+           [
+             label;
+             string_of_int nodes;
+             Report.Table.cell_f r.Run_result.per_key_ns;
+             Simcore.Simtime.to_string r.Run_result.mean_response_ns;
+             Report.Table.cell_pct r.Run_result.master_busy;
+             Report.Table.cell_pct r.Run_result.slave_idle;
+             Report.Table.cell_i r.Run_result.validation_errors;
+           ]);
   tbl
 
-let structures ?scenario () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let structures ?spec ?scenario () =
+  let spec = resolve ?spec ?scenario () in
+  let sc = Spec.scenario spec in
   let p = sc.Workload.Scenario.params in
   let g = Prng.Splitmix.create (sc.Workload.Scenario.seed + 31) in
   let measure n_keys =
@@ -218,8 +312,14 @@ let structures ?scenario () =
   in
   let n_slaves = max 1 (sc.Workload.Scenario.n_nodes - sc.Workload.Scenario.n_masters) in
   let partition_keys = max 2 (sc.Workload.Scenario.n_keys / n_slaves) in
-  let resident = measure partition_keys in
-  let full = measure sc.Workload.Scenario.n_keys in
+  let scales =
+    Exec.Sweep.run ~jobs:spec.Spec.jobs
+      (List.map
+         (fun n -> Exec.Job.make ~key:n (fun () -> measure n))
+         [ partition_keys; sc.Workload.Scenario.n_keys ])
+  in
+  let resident = snd (List.nth scales 0) in
+  let full = snd (List.nth scales 1) in
   let tbl =
     Report.Table.create
       ~headers:
@@ -236,24 +336,28 @@ let structures ?scenario () =
     resident full;
   tbl
 
-let slave_structure ?scenario () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let slave_structure ?spec ?scenario () =
+  let spec = resolve ?spec ?scenario () in
+  let sc = Spec.scenario spec in
   let keys, queries = Runner.workload sc in
   let tbl =
     Report.Table.create
       ~headers:
         [ "Variant"; "ns/key"; "slave idle"; "L2 rand misses"; "L2 seq misses" ]
   in
-  List.iter
-    (fun method_id ->
-      let r = Runner.run sc ~method_id ~keys ~queries in
-      Report.Table.add_row tbl
-        [
-          Methods.to_string method_id;
-          Report.Table.cell_f r.Run_result.per_key_ns;
-          Report.Table.cell_pct r.Run_result.slave_idle;
-          string_of_int r.Run_result.cache.Cachesim.Hierarchy.rand_misses;
-          string_of_int r.Run_result.cache.Cachesim.Hierarchy.seq_misses;
-        ])
-    [ Methods.C1; Methods.C2; Methods.C3 ];
+  Exec.Sweep.run ~jobs:spec.Spec.jobs
+    (List.map
+       (fun method_id ->
+         Exec.Job.make ~key:method_id (fun () ->
+             Runner.run sc ~method_id ~keys ~queries))
+       [ Methods.C1; Methods.C2; Methods.C3 ])
+  |> List.iter (fun (method_id, (r : Run_result.t)) ->
+         Report.Table.add_row tbl
+           [
+             Methods.to_string method_id;
+             Report.Table.cell_f r.Run_result.per_key_ns;
+             Report.Table.cell_pct r.Run_result.slave_idle;
+             string_of_int r.Run_result.cache.Cachesim.Hierarchy.rand_misses;
+             string_of_int r.Run_result.cache.Cachesim.Hierarchy.seq_misses;
+           ]);
   tbl

@@ -1,6 +1,42 @@
 open Simcore
 
-let default_scenario () = Workload.Scenario.scaled
+module Spec = struct
+  type t = {
+    scenario : Workload.Scenario.t;
+    methods : Methods.id list;
+    batches : int list;
+    jobs : int;
+    seed_override : int option;
+  }
+
+  let default =
+    {
+      scenario = Workload.Scenario.scaled;
+      methods = Methods.all;
+      batches = Workload.Scenario.fig3_batches;
+      jobs = 1;
+      seed_override = None;
+    }
+
+  let with_scenario scenario t = { t with scenario }
+  let with_methods methods t = { t with methods }
+  let with_batches batches t = { t with batches }
+  let with_jobs jobs t = { t with jobs = max 1 jobs }
+  let with_seed seed t = { t with seed_override = Some seed }
+
+  let scenario t =
+    match t.seed_override with
+    | None -> t.scenario
+    | Some seed -> { t.scenario with Workload.Scenario.seed }
+end
+
+(* Legacy optional arguments fold into a [Spec.t]; an explicit argument
+   wins over the corresponding spec field. *)
+let resolve ?spec ?scenario ?methods ?batches () =
+  let s = Option.value spec ~default:Spec.default in
+  let s = Option.fold ~none:s ~some:(fun sc -> Spec.with_scenario sc s) scenario in
+  let s = Option.fold ~none:s ~some:(fun ms -> Spec.with_methods ms s) methods in
+  Option.fold ~none:s ~some:(fun bs -> Spec.with_batches bs s) batches
 
 let scratch_tree (sc : Workload.Scenario.t) ~keys =
   let m = Machine.create (Engine.create ()) ~name:"scratch" sc.Workload.Scenario.params in
@@ -25,8 +61,8 @@ let group_height sc ~keys =
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
 
-let table1 ?scenario () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let table1 ?spec ?scenario () =
+  let sc = Spec.scenario (resolve ?spec ?scenario ()) in
   let keys, _ = Runner.workload sc in
   let p = sc.Workload.Scenario.params in
   let tree = scratch_tree sc ~keys in
@@ -68,8 +104,8 @@ let table1 ?scenario () =
     ];
   t
 
-let table2 ?scenario () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let table2 ?spec ?scenario () =
+  let sc = Spec.scenario (resolve ?spec ?scenario ()) in
   Calibrate.table2
     (Calibrate.measure sc.Workload.Scenario.params sc.Workload.Scenario.net)
 
@@ -78,20 +114,40 @@ let table2 ?scenario () =
 
 type fig3_row = { batch_bytes : int; results : Run_result.t list }
 
-let fig3 ?scenario ?(methods = Methods.all) ?batches () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
-  let batches =
-    match batches with Some b -> b | None -> Workload.Scenario.fig3_batches
-  in
+let fig3 ?spec ?scenario ?methods ?batches () =
+  let spec = resolve ?spec ?scenario ?methods ?batches () in
+  let sc = Spec.scenario spec in
   let keys, queries = Runner.workload sc in
+  (* One job per (batch, method) grid cell; each job builds its own
+     fresh engine inside [Runner.run], and the shared [keys]/[queries]
+     arrays are only ever read, so jobs are pure and the sweep is
+     deterministic at any worker count. *)
+  let grid =
+    List.concat_map
+      (fun batch_bytes ->
+        List.map (fun method_id -> (batch_bytes, method_id)) spec.Spec.methods)
+      spec.Spec.batches
+  in
+  let results =
+    Exec.Sweep.run ~jobs:spec.Spec.jobs
+      (List.map
+         (fun ((batch_bytes, method_id) as key) ->
+           Exec.Job.make ~key (fun () ->
+               Runner.run
+                 (Workload.Scenario.with_batch sc batch_bytes)
+                 ~method_id ~keys ~queries))
+         grid)
+  in
   List.map
     (fun batch_bytes ->
-      let sc = Workload.Scenario.with_batch sc batch_bytes in
-      let results =
-        List.map (fun method_id -> Runner.run sc ~method_id ~keys ~queries) methods
-      in
-      { batch_bytes; results })
-    batches
+      {
+        batch_bytes;
+        results =
+          List.filter_map
+            (fun ((b, _), r) -> if b = batch_bytes then Some r else None)
+            results;
+      })
+    spec.Spec.batches
 
 let glyph_of = function
   | Methods.A -> 'a'
@@ -185,8 +241,9 @@ type table3_row = {
   simulated_ns : float;
 }
 
-let table3 ?scenario () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let table3 ?spec ?scenario () =
+  let spec = resolve ?spec ?scenario () in
+  let sc = Spec.scenario spec in
   let keys, queries = Runner.workload sc in
   let p = sc.Workload.Scenario.params in
   let nodes = sc.Workload.Scenario.n_nodes in
@@ -206,11 +263,18 @@ let table3 ?scenario () =
           ~n_masters:1 ~n_slaves );
     ]
   in
-  List.map
-    (fun (method_id, predicted_ns) ->
-      let r = Runner.run sc ~method_id ~keys ~queries in
+  let sims =
+    Exec.Sweep.run ~jobs:spec.Spec.jobs
+      (List.map
+         (fun (method_id, _) ->
+           Exec.Job.make ~key:method_id (fun () ->
+               Runner.run sc ~method_id ~keys ~queries))
+         predictions)
+  in
+  List.map2
+    (fun (method_id, predicted_ns) (_, r) ->
       { method_id; predicted_ns; simulated_ns = r.Run_result.per_key_ns })
-    predictions
+    predictions sims
 
 let render_table3 ?(paper_queries = 1 lsl 23) ~(scenario : Workload.Scenario.t)
     rows =
@@ -251,8 +315,8 @@ type fig4_row = {
   c3_mm_ns : float;
 }
 
-let fig4 ?scenario ?(years = 5) () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let fig4 ?spec ?scenario ?(years = 5) () =
+  let sc = Spec.scenario (resolve ?spec ?scenario ()) in
   let keys, _ = Runner.workload sc in
   let nodes = sc.Workload.Scenario.n_nodes in
   let n_slaves = nodes - 1 in
@@ -279,8 +343,8 @@ let fig4 ?scenario ?(years = 5) () =
             ~n_slaves;
       })
 
-let timeline ?scenario ?(method_id = Methods.C3) () =
-  let sc = match scenario with Some s -> s | None -> default_scenario () in
+let timeline ?spec ?scenario ?(method_id = Methods.C3) () =
+  let sc = Spec.scenario (resolve ?spec ?scenario ()) in
   (* A short slice keeps the chart readable: ~6 batches worth or 32k
      queries, whichever is larger. *)
   let n_queries =

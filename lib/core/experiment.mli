@@ -1,31 +1,77 @@
 (** Drivers that regenerate each table and figure of the paper's
     evaluation (Section 4), plus rendering to text.
 
-    Each driver takes a {!Workload.Scenario.t} (defaulting to
-    {!Workload.Scenario.scaled}) and returns structured results; [render_*]
-    functions produce the terminal artefact.  Methods A and B results are
-    normalized by the cluster size exactly as in the paper. *)
+    Each driver takes a {!Spec.t} describing the whole run — scenario,
+    method set, batch grid, worker-domain count — and returns structured
+    results; [render_*] functions produce the terminal artefact.
+    Methods A and B results are normalized by the cluster size exactly
+    as in the paper.
+
+    Sweep-shaped drivers ([fig3], [table3], the {!Ablation} studies)
+    enumerate their grids as {!Exec.Job.t}s and fan them over
+    [spec.jobs] worker domains; results are collected in submission
+    order, so output is byte-identical at any [jobs] value.
+
+    The bare [?scenario]/[?methods]/[?batches] optional arguments are
+    the pre-[Spec] API, kept as a thin compatibility layer; an explicit
+    argument overrides the corresponding field of [?spec].  New code
+    should build a [Spec.t] instead. *)
+
+(** {2 Run specification} *)
+
+module Spec : sig
+  type t = {
+    scenario : Workload.Scenario.t;
+    methods : Methods.id list;  (** Method set for method-sweep drivers. *)
+    batches : int list;  (** Batch-size grid (bytes) for batch sweeps. *)
+    jobs : int;  (** Worker domains for sweeps; [1] = run in caller. *)
+    seed_override : int option;
+        (** When set, replaces the scenario's workload seed. *)
+  }
+
+  val default : t
+  (** {!Workload.Scenario.scaled}, all five methods, the paper's
+      8 KB - 4 MB batch grid, [jobs = 1], no seed override. *)
+
+  val with_scenario : Workload.Scenario.t -> t -> t
+  val with_methods : Methods.id list -> t -> t
+  val with_batches : int list -> t -> t
+
+  val with_jobs : int -> t -> t
+  (** Clamped to at least 1. *)
+
+  val with_seed : int -> t -> t
+
+  val scenario : t -> Workload.Scenario.t
+  (** The scenario with [seed_override] applied — what the drivers
+      actually run. *)
+end
 
 (** {2 Table 1 — index structure setup} *)
 
-val table1 : ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
+val table1 :
+  ?spec:Spec.t -> ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
 
 (** {2 Table 2 — measured machine parameters} *)
 
-val table2 : ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
+val table2 :
+  ?spec:Spec.t -> ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
 
 (** {2 Figure 3 — search time vs batch size for all five methods} *)
 
 type fig3_row = { batch_bytes : int; results : Run_result.t list }
 
 val fig3 :
+  ?spec:Spec.t ->
   ?scenario:Workload.Scenario.t ->
   ?methods:Methods.id list ->
   ?batches:int list ->
   unit ->
   fig3_row list
-(** Runs every method at every batch size on one shared workload.
-    Defaults: all five methods over the paper's 8 KB - 4 MB sweep. *)
+(** Runs every method at every batch size on one shared workload,
+    fanning the (batch x method) grid over [spec.jobs] worker domains.
+    Defaults: all five methods over the paper's 8 KB - 4 MB sweep,
+    sequentially. *)
 
 val render_fig3 :
   ?paper_queries:int -> scenario:Workload.Scenario.t -> fig3_row list -> string
@@ -42,8 +88,9 @@ type table3_row = {
 }
 
 val table3 :
-  ?scenario:Workload.Scenario.t -> unit -> table3_row list
-(** Methods A, B and C-3 at the scenario batch size (paper: 128 KB). *)
+  ?spec:Spec.t -> ?scenario:Workload.Scenario.t -> unit -> table3_row list
+(** Methods A, B and C-3 at the scenario batch size (paper: 128 KB);
+    the three simulations run as one pool sweep. *)
 
 val render_table3 :
   ?paper_queries:int -> scenario:Workload.Scenario.t -> table3_row list -> string
@@ -64,7 +111,11 @@ type fig4_row = {
 }
 
 val fig4 :
-  ?scenario:Workload.Scenario.t -> ?years:int -> unit -> fig4_row list
+  ?spec:Spec.t ->
+  ?scenario:Workload.Scenario.t ->
+  ?years:int ->
+  unit ->
+  fig4_row list
 (** Years 0..[years] (default 5), scaling parameters per Section 4.2. *)
 
 val render_fig4 : fig4_row list -> string
@@ -72,7 +123,11 @@ val render_fig4 : fig4_row list -> string
 (** {2 Timeline} *)
 
 val timeline :
-  ?scenario:Workload.Scenario.t -> ?method_id:Methods.id -> unit -> string
+  ?spec:Spec.t ->
+  ?scenario:Workload.Scenario.t ->
+  ?method_id:Methods.id ->
+  unit ->
+  string
 (** Run one (query-trimmed) simulation with span tracing enabled and
     render a Gantt chart of per-node CPU busy time — the visual twin of
     the paper's slave-idle observations in §4.1. *)

@@ -1,0 +1,5 @@
+type ('k, 'a) t = { key : 'k; body : unit -> 'a }
+
+let make ~key body = { key; body }
+let key t = t.key
+let run t = t.body ()

@@ -1,0 +1,18 @@
+(** A keyed unit of work for the sweep executor.
+
+    The key identifies the job's grid point (e.g. [(batch_bytes,
+    method_id)] for a Figure 3 cell) and travels with the result, so a
+    sweep can be regrouped into rows after a parallel run without any
+    assumption about scheduling order.  The body must be self-contained:
+    it is executed at most once, possibly on a worker domain, so it has
+    to build its own fresh simulation state (engine, machines) and must
+    not consume a shared PRNG — split generators before submission. *)
+
+type ('k, 'a) t
+
+val make : key:'k -> (unit -> 'a) -> ('k, 'a) t
+
+val key : ('k, 'a) t -> 'k
+
+val run : ('k, 'a) t -> 'a
+(** Execute the body in the calling domain. *)

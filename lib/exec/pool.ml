@@ -1,0 +1,142 @@
+(* Work-stealing-free work queue: one cursor per batch, guarded by the
+   pool mutex.  Tasks are coarse (whole simulations), so contention on
+   the cursor is negligible; what matters is that result placement is by
+   submission index, never by completion order. *)
+
+type batch = {
+  run_task : int -> unit;  (* must not raise; stores its own result *)
+  n : int;
+  mutable next : int;       (* first unclaimed task index *)
+  mutable completed : int;
+  id : int;                 (* lets a worker skip a batch it has drained *)
+}
+
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* new batch installed, or shutdown *)
+  batch_done : Condition.t;  (* last task of the batch completed *)
+  mutable batch : batch option;
+  mutable next_batch_id : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.n_jobs
+
+(* Claim task indices until the batch cursor is exhausted.  The task
+   body runs outside the lock. *)
+let drain t (b : batch) =
+  let rec loop () =
+    if b.next < b.n then begin
+      let i = b.next in
+      b.next <- i + 1;
+      Mutex.unlock t.mutex;
+      b.run_task i;
+      Mutex.lock t.mutex;
+      b.completed <- b.completed + 1;
+      if b.completed = b.n then Condition.broadcast t.batch_done;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t =
+  Mutex.lock t.mutex;
+  let last_seen = ref (-1) in
+  let rec loop () =
+    if t.stop then ()
+    else
+      match t.batch with
+      | Some b when b.id > !last_seen && b.next < b.n ->
+          drain t b;
+          last_seen := b.id;
+          loop ()
+      | _ ->
+          Condition.wait t.work_ready t.mutex;
+          loop ()
+  in
+  loop ();
+  Mutex.unlock t.mutex
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      n_jobs = jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      batch = None;
+      next_batch_id = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  let ds = t.domains in
+  t.domains <- [];
+  List.iter Domain.join ds
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+type ('a, 'b) slot =
+  | Empty
+  | Value of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let map t ~f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let slots = Array.make n Empty in
+    let run_task i =
+      slots.(i) <-
+        (try Value (f xs.(i))
+         with e -> Raised (e, Printexc.get_raw_backtrace ()))
+    in
+    Mutex.lock t.mutex;
+    let b =
+      { run_task; n; next = 0; completed = 0; id = t.next_batch_id }
+    in
+    t.next_batch_id <- t.next_batch_id + 1;
+    t.batch <- Some b;
+    Condition.broadcast t.work_ready;
+    while b.completed < b.n do
+      Condition.wait t.batch_done t.mutex
+    done;
+    t.batch <- None;
+    Mutex.unlock t.mutex;
+    Array.map
+      (function
+        | Value v -> v
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty -> assert false)
+      slots
+  end
+
+let run ~jobs thunks =
+  match thunks with
+  | [] -> []
+  | _ when jobs <= 1 -> List.map (fun f -> f ()) thunks
+  | _ ->
+      let arr = Array.of_list thunks in
+      with_pool ~jobs:(min jobs (Array.length arr)) (fun t ->
+          Array.to_list (map t ~f:(fun f -> f ()) arr))
+
+exception Nondeterministic
+
+let run_deterministic ~jobs thunks =
+  let par = run ~jobs thunks in
+  let seq = List.map (fun f -> f ()) thunks in
+  if Stdlib.compare par seq <> 0 then raise Nondeterministic;
+  par

@@ -1,0 +1,9 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ?(jobs = 1) ~f xs =
+  if jobs <= 1 || List.compare_length_with xs 1 <= 0 then List.map f xs
+  else
+    Pool.with_pool ~jobs:(min jobs (List.length xs)) (fun t ->
+        Array.to_list (Pool.map t ~f (Array.of_list xs)))
+
+let run ?jobs js = map ?jobs ~f:(fun j -> (Job.key j, Job.run j)) js

@@ -367,6 +367,33 @@ let test_ablation_skew_runs () =
   let t = Dispatch.Ablation.skew ~scenario:tiny_sc ~exponents:[ 0.0; 1.0 ] () in
   check_int "two rows" 2 (Report.Table.rows t)
 
+let prop_methods_string_roundtrip =
+  (* Every method id must survive of_string . to_string, and of_string
+     must accept any case mangling of both the dashed ("C-3") and
+     dash-free ("c3") spellings. *)
+  QCheck.Test.make ~name:"Methods.of_string accepts case and dash variants"
+    ~count:200
+    QCheck.(triple (int_range 0 4) bool (list_of_size (Gen.return 4) bool))
+    (fun (i, drop_dash, flips) ->
+      let m = List.nth Dispatch.Methods.all i in
+      let canonical = Dispatch.Methods.to_string m in
+      let spelled =
+        if drop_dash then
+          String.concat "" (String.split_on_char '-' canonical)
+        else canonical
+      in
+      let mangled =
+        String.mapi
+          (fun j c ->
+            if List.nth flips (j mod 4) then
+              if Char.lowercase_ascii c = c then Char.uppercase_ascii c
+              else Char.lowercase_ascii c
+            else c)
+          spelled
+      in
+      Dispatch.Methods.of_string (Dispatch.Methods.to_string m) = Some m
+      && Dispatch.Methods.of_string mangled = Some m)
+
 let prop_partition_reassembles =
   QCheck.Test.make ~name:"partition slices reassemble the key set" ~count:100
     QCheck.(pair (int_range 1 20) (int_range 20 2000))
@@ -434,7 +461,11 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_partition_reassembles; prop_owner_consistent_with_rank ] );
+          [
+            prop_methods_string_roundtrip;
+            prop_partition_reassembles;
+            prop_owner_consistent_with_rank;
+          ] );
       ( "ablation",
         [
           tc "tables" `Slow test_ablations_produce_tables;
