@@ -15,8 +15,10 @@ open Toolkit
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures (built once, outside the timed regions) *)
 
-(* The only flag: `--jobs N` (worker domains for the sweep-shaped
-   artefacts below; default cores - 1, floor 1). *)
+(* Flags: `--jobs N` (worker domains for the sweep-shaped artefacts
+   below; default cores - 1, floor 1), `--metrics FILE` and
+   `--trace-json FILE` (telemetry of the Figure 3 sweep, same formats as
+   repro's flags of the same names). *)
 let jobs =
   let rec go = function
     | "--jobs" :: n :: _ -> (
@@ -27,6 +29,17 @@ let jobs =
     | [] -> Exec.Sweep.default_jobs ()
   in
   go (Array.to_list Sys.argv)
+
+let string_flag name =
+  let rec go = function
+    | flag :: v :: _ when flag = name -> Some v
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
+let metrics_path = string_flag "--metrics"
+let trace_path = string_flag "--trace-json"
 
 let bench_scenario =
   {
@@ -253,9 +266,25 @@ let print_paper_shapes () =
     |> Dispatch.Experiment.Spec.with_batches
          [ 8 * 1024; 32 * 1024; 128 * 1024; 512 * 1024 ]
     |> Dispatch.Experiment.Spec.with_jobs jobs
+    |> (match metrics_path with
+       | Some p -> Dispatch.Experiment.Spec.with_metrics p
+       | None -> Fun.id)
+    |> (match trace_path with
+       | Some p -> Dispatch.Experiment.Spec.with_trace p
+       | None -> Fun.id)
   in
   let rows = Dispatch.Experiment.fig3 ~spec () in
   print_string (Dispatch.Experiment.render_fig3 ~scenario:sweep_sc rows);
+  let runs =
+    List.concat_map
+      (fun { Dispatch.Experiment.results; _ } ->
+        List.map (fun r -> (Dispatch.Telemetry.run_label r, r)) results)
+      rows
+  in
+  Dispatch.Experiment.emit_telemetry ~spec ~generator:"bench fig3" runs;
+  List.iter
+    (fun p -> Printf.printf "\nwrote %s\n" p)
+    (List.filter_map Fun.id [ metrics_path; trace_path ]);
   print_endline "\n--- Table 3 ---";
   let t3_sc =
     { bench_scenario with Workload.Scenario.n_queries = 1 lsl 18 }

@@ -84,11 +84,31 @@ let csv_arg =
   let doc = "Also write raw results to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Write a metrics JSON file: a run manifest (seed, scenario, methods, \
+     network, git revision, schema version) followed by every run's \
+     telemetry snapshot — cache, network, engine and response-time \
+     series.  Deterministic at any --jobs value; set SOURCE_DATE_EPOCH \
+     for byte-reproducible output."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_json_arg =
+  let doc =
+    "Record event traces (per-node busy spans, message sends, in-flight \
+     counters) and write them as Chrome trace_event JSON, loadable at \
+     ui.perfetto.dev or chrome://tracing."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
 (* Apply an optional override; absent flags leave the value untouched. *)
 let override v f x = match v with Some v -> f v x | None -> x
 
 let spec_term =
-  let build scale queries keys nodes masters batch network seed jobs methods =
+  let build scale queries keys nodes masters batch network seed jobs methods
+      metrics trace_json =
     let base =
       match String.lowercase_ascii scale with
       | "paper" -> Ok Workload.Scenario.paper
@@ -119,15 +139,40 @@ let spec_term =
           |> Spec.with_scenario sc
           |> Spec.with_jobs jobs
           |> (match methods with [] -> Fun.id | ms -> Spec.with_methods ms)
-          |> override seed Spec.with_seed)
+          |> override seed Spec.with_seed
+          |> override metrics Spec.with_metrics
+          |> override trace_json Spec.with_trace)
   in
   Term.(
     term_result ~usage:true
       (const build $ scale_arg $ queries_arg $ keys_arg $ nodes_arg
      $ masters_arg $ batch_arg $ network_arg $ seed_arg $ jobs_arg
-     $ methods_arg))
+     $ methods_arg $ metrics_arg $ trace_json_arg))
 
 let say fmt = Format.printf (fmt ^^ "@.")
+
+(* Output files are written before this check, so a failed validation
+   still leaves the evidence on disk. *)
+let check_validation runs =
+  let bad =
+    List.filter (fun (_, r) -> r.Dispatch.Run_result.validation_errors > 0) runs
+  in
+  if bad <> [] then begin
+    List.iter
+      (fun (label, r) ->
+        Printf.eprintf "repro: ERROR: %d validation error%s in run %s\n"
+          r.Dispatch.Run_result.validation_errors
+          (if r.Dispatch.Run_result.validation_errors = 1 then "" else "s")
+          label)
+      bad;
+    Printf.eprintf
+      "repro: simulated results disagree with the reference oracle; output \
+       above is not trustworthy\n";
+    exit 3
+  end
+
+let labelled runs =
+  List.map (fun r -> (Dispatch.Telemetry.run_label r, r)) runs
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands *)
@@ -145,14 +190,19 @@ let run_table3 spec =
   let sc = Spec.scenario spec in
   say "%a@\n" Workload.Scenario.pp sc;
   let rows = Dispatch.Experiment.table3 ~spec () in
-  print_string (Dispatch.Experiment.render_table3 ~scenario:sc rows)
+  print_string (Dispatch.Experiment.render_table3 ~scenario:sc rows);
+  let runs =
+    labelled (List.map (fun r -> r.Dispatch.Experiment.run) rows)
+  in
+  Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro table3" runs;
+  check_validation runs
 
 let run_fig3 spec csv =
   let sc = Spec.scenario spec in
   say "%a@\n" Workload.Scenario.pp sc;
   let rows = Dispatch.Experiment.fig3 ~spec () in
   print_string (Dispatch.Experiment.render_fig3 ~scenario:sc rows);
-  match csv with
+  (match csv with
   | None -> ()
   | Some path ->
       let flat =
@@ -162,7 +212,15 @@ let run_fig3 spec csv =
           rows
       in
       Report.Csv.save ~path ~header:Dispatch.Run_result.header flat;
-      say "wrote %s" path
+      say "wrote %s" path);
+  let runs =
+    labelled
+      (List.concat_map
+         (fun { Dispatch.Experiment.results; _ } -> results)
+         rows)
+  in
+  Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro fig3" runs;
+  check_validation runs
 
 let run_fig4 spec years =
   say "%a@\n" Workload.Scenario.pp (Spec.scenario spec);
@@ -203,7 +261,11 @@ let run_timeline spec =
     | _ -> Dispatch.Methods.C3
   in
   say "%a@\n" Workload.Scenario.pp (Spec.scenario spec);
-  print_string (Dispatch.Experiment.timeline ~spec ~method_id ())
+  let rendered, r = Dispatch.Experiment.timeline_traced ~spec ~method_id () in
+  print_string rendered;
+  let runs = labelled [ r ] in
+  Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro timeline" runs;
+  check_validation runs
 
 let run_all spec =
   run_table1 spec;

@@ -156,3 +156,10 @@ let pp_stats fmt s =
   let ratio = if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total in
   Format.fprintf fmt "hits %d, misses %d (%.1f%% hit), evictions %d, writebacks %d"
     s.hits s.misses (100.0 *. ratio) s.evictions s.writebacks
+
+let record_metrics (t : t) ?(labels = []) reg =
+  let labels = ("level", t.cache_name) :: labels in
+  Obs.Metrics.incr reg ~labels "cache_hits" t.hits;
+  Obs.Metrics.incr reg ~labels "cache_misses" t.misses;
+  Obs.Metrics.incr reg ~labels "cache_evictions" t.evictions;
+  Obs.Metrics.incr reg ~labels "cache_writebacks" t.writebacks

@@ -56,3 +56,8 @@ type stats = { hits : int; misses : int; evictions : int; writebacks : int }
 val stats : t -> stats
 val reset_stats : t -> unit
 val pp_stats : Format.formatter -> stats -> unit
+
+val record_metrics : t -> ?labels:(string * string) list -> Obs.Metrics.t -> unit
+(** Dump hit/miss/eviction/write-back counters into a metrics registry as
+    [cache_hits], [cache_misses], [cache_evictions], [cache_writebacks],
+    labelled with [level=<cache name>] plus any extra [labels]. *)

@@ -182,3 +182,18 @@ let pp_stats fmt s =
      mem cost     %a@]"
     s.accesses s.l1_hits (pct s.l1_hits s.accesses) s.l2_hits s.seq_misses
     s.rand_misses s.tlb_misses s.writebacks Simcore.Simtime.pp s.cost_ns
+
+let record_metrics (t : t) ?(labels = []) reg =
+  Obs.Metrics.incr reg ~labels "mem_accesses" t.accesses;
+  Obs.Metrics.incr reg ~labels "mem_l1_hits" t.l1_hits;
+  Obs.Metrics.incr reg ~labels "mem_l2_hits" t.l2_hits;
+  Obs.Metrics.incr reg ~labels "mem_seq_misses" t.seq_misses;
+  Obs.Metrics.incr reg ~labels "mem_rand_misses" t.rand_misses;
+  Obs.Metrics.incr reg ~labels "mem_tlb_misses" t.tlb_misses;
+  Obs.Metrics.incr reg ~labels "mem_writebacks" t.writebacks;
+  Obs.Metrics.incr_f reg ~labels "mem_cost_ns" t.cost_ns;
+  Cache.record_metrics t.l1c ~labels reg;
+  Cache.record_metrics t.l2c ~labels reg;
+  match t.tlb with
+  | Some tlb -> Cache.record_metrics tlb ~labels reg
+  | None -> ()

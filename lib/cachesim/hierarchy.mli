@@ -57,3 +57,11 @@ val add_stats : stats -> stats -> stats
 (** Pointwise sum, for aggregating over the nodes of a cluster. *)
 
 val zero_stats : stats
+
+val record_metrics : t -> ?labels:(string * string) list -> Obs.Metrics.t -> unit
+(** Dump the classification counters into a metrics registry
+    ([mem_accesses], [mem_l1_hits], [mem_l2_hits], [mem_seq_misses],
+    [mem_rand_misses], [mem_tlb_misses], [mem_writebacks] and the
+    accumulated [mem_cost_ns]), then each level's raw cache counters via
+    {!Cache.record_metrics}.  Extra [labels] (e.g. [node=3]) are attached
+    to every series. *)

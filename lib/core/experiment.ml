@@ -7,6 +7,8 @@ module Spec = struct
     batches : int list;
     jobs : int;
     seed_override : int option;
+    metrics_path : string option;
+    trace_path : string option;
   }
 
   let default =
@@ -16,6 +18,8 @@ module Spec = struct
       batches = Workload.Scenario.fig3_batches;
       jobs = 1;
       seed_override = None;
+      metrics_path = None;
+      trace_path = None;
     }
 
   let with_scenario scenario t = { t with scenario }
@@ -23,6 +27,8 @@ module Spec = struct
   let with_batches batches t = { t with batches }
   let with_jobs jobs t = { t with jobs = max 1 jobs }
   let with_seed seed t = { t with seed_override = Some seed }
+  let with_metrics path t = { t with metrics_path = Some path }
+  let with_trace path t = { t with trace_path = Some path }
 
   let scenario t =
     match t.seed_override with
@@ -37,6 +43,43 @@ let resolve ?spec ?scenario ?methods ?batches () =
   let s = Option.fold ~none:s ~some:(fun sc -> Spec.with_scenario sc s) scenario in
   let s = Option.fold ~none:s ~some:(fun ms -> Spec.with_methods ms s) methods in
   Option.fold ~none:s ~some:(fun bs -> Spec.with_batches bs s) batches
+
+(* Wrap a run's body so layer instrumentation (machine sync spans,
+   network send instants, in-flight counter samples) lands on a per-run
+   recorder, kept on the result.  Recording is skipped entirely unless
+   the spec asks for a trace file. *)
+let with_run_trace spec body =
+  if spec.Spec.trace_path = None then body ()
+  else begin
+    let tr = Simcore.Trace.create () in
+    let r = Simcore.Trace.with_recording tr body in
+    { r with Run_result.trace = Some tr }
+  end
+
+let emit_telemetry ~spec ~generator runs =
+  let sc = Spec.scenario spec in
+  let fields =
+    Telemetry.manifest_fields sc ~methods:spec.Spec.methods
+      ~batches:spec.Spec.batches
+  in
+  (match spec.Spec.metrics_path with
+  | Some path ->
+      Telemetry.write_json path
+        (Telemetry.metrics_document ~generator ~fields
+           (List.map
+              (fun (label, r) -> (label, r.Run_result.metrics))
+              runs))
+  | None -> ());
+  match spec.Spec.trace_path with
+  | Some path ->
+      let named =
+        List.filter_map
+          (fun (label, r) ->
+            Option.map (fun tr -> (label, tr)) r.Run_result.trace)
+          runs
+      in
+      Telemetry.write_json path (Telemetry.trace_document named)
+  | None -> ()
 
 let scratch_tree (sc : Workload.Scenario.t) ~keys =
   let m = Machine.create (Engine.create ()) ~name:"scratch" sc.Workload.Scenario.params in
@@ -133,9 +176,10 @@ let fig3 ?spec ?scenario ?methods ?batches () =
       (List.map
          (fun ((batch_bytes, method_id) as key) ->
            Exec.Job.make ~key (fun () ->
-               Runner.run
-                 (Workload.Scenario.with_batch sc batch_bytes)
-                 ~method_id ~keys ~queries))
+               with_run_trace spec (fun () ->
+                   Runner.run
+                     (Workload.Scenario.with_batch sc batch_bytes)
+                     ~method_id ~keys ~queries)))
          grid)
   in
   List.map
@@ -239,6 +283,7 @@ type table3_row = {
   method_id : Methods.id;
   predicted_ns : float;
   simulated_ns : float;
+  run : Run_result.t;
 }
 
 let table3 ?spec ?scenario () =
@@ -268,12 +313,14 @@ let table3 ?spec ?scenario () =
       (List.map
          (fun (method_id, _) ->
            Exec.Job.make ~key:method_id (fun () ->
-               Runner.run sc ~method_id ~keys ~queries))
+               with_run_trace spec (fun () ->
+                   Runner.run sc ~method_id ~keys ~queries)))
          predictions)
   in
   List.map2
     (fun (method_id, predicted_ns) (_, r) ->
-      { method_id; predicted_ns; simulated_ns = r.Run_result.per_key_ns })
+      { method_id; predicted_ns; simulated_ns = r.Run_result.per_key_ns;
+        run = r })
     predictions sims
 
 let render_table3 ?(paper_queries = 1 lsl 23) ~(scenario : Workload.Scenario.t)
@@ -284,7 +331,7 @@ let render_table3 ?(paper_queries = 1 lsl 23) ~(scenario : Workload.Scenario.t)
         [ "Strategy"; "predicted time"; "simulated time"; "accuracy" ]
   in
   List.iter
-    (fun { method_id; predicted_ns; simulated_ns } ->
+    (fun { method_id; predicted_ns; simulated_ns; _ } ->
       let seconds ns = ns *. float_of_int paper_queries /. 1e9 in
       let accuracy =
         1.0 -. (Float.abs (predicted_ns -. simulated_ns) /. simulated_ns)
@@ -343,7 +390,7 @@ let fig4 ?spec ?scenario ?(years = 5) () =
             ~n_slaves;
       })
 
-let timeline ?spec ?scenario ?(method_id = Methods.C3) () =
+let timeline_traced ?spec ?scenario ?(method_id = Methods.C3) () =
   let sc = Spec.scenario (resolve ?spec ?scenario ()) in
   (* A short slice keeps the chart readable: ~6 batches worth or 32k
      queries, whichever is larger. *)
@@ -358,12 +405,19 @@ let timeline ?spec ?scenario ?(method_id = Methods.C3) () =
     Simcore.Trace.with_recording tr (fun () ->
         Runner.run sc ~method_id ~keys ~queries)
   in
-  Printf.sprintf
-    "Method %s, %d queries, batch %d KB (%d messages, %.1f ns/key):\n\n%s"
-    (Methods.to_string method_id) n_queries
-    (sc.Workload.Scenario.batch_bytes / 1024)
-    r.Run_result.messages r.Run_result.per_key_ns
-    (Simcore.Trace.render_gantt tr)
+  let r = { r with Run_result.trace = Some tr } in
+  let rendered =
+    Printf.sprintf
+      "Method %s, %d queries, batch %d KB (%d messages, %.1f ns/key):\n\n%s"
+      (Methods.to_string method_id) n_queries
+      (sc.Workload.Scenario.batch_bytes / 1024)
+      r.Run_result.messages r.Run_result.per_key_ns
+      (Simcore.Trace.render_gantt tr)
+  in
+  (rendered, r)
+
+let timeline ?spec ?scenario ?method_id () =
+  fst (timeline_traced ?spec ?scenario ?method_id ())
 
 let render_fig4 rows =
   let tbl =

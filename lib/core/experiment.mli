@@ -27,6 +27,12 @@ module Spec : sig
     jobs : int;  (** Worker domains for sweeps; [1] = run in caller. *)
     seed_override : int option;
         (** When set, replaces the scenario's workload seed. *)
+    metrics_path : string option;
+        (** When set, drivers invoked through {!emit_telemetry} write a
+            manifest-headed metrics JSON file here. *)
+    trace_path : string option;
+        (** When set, runs record event traces and {!emit_telemetry}
+            writes a Chrome [trace_event] JSON file here. *)
   }
 
   val default : t
@@ -41,6 +47,8 @@ module Spec : sig
   (** Clamped to at least 1. *)
 
   val with_seed : int -> t -> t
+  val with_metrics : string -> t -> t
+  val with_trace : string -> t -> t
 
   val scenario : t -> Workload.Scenario.t
   (** The scenario with [seed_override] applied — what the drivers
@@ -85,6 +93,7 @@ type table3_row = {
   method_id : Methods.id;
   predicted_ns : float;  (** Model, per key, normalized. *)
   simulated_ns : float;  (** Simulator, per key, normalized. *)
+  run : Run_result.t;  (** The full simulated run behind [simulated_ns]. *)
 }
 
 val table3 :
@@ -131,6 +140,28 @@ val timeline :
 (** Run one (query-trimmed) simulation with span tracing enabled and
     render a Gantt chart of per-node CPU busy time — the visual twin of
     the paper's slave-idle observations in §4.1. *)
+
+val timeline_traced :
+  ?spec:Spec.t ->
+  ?scenario:Workload.Scenario.t ->
+  ?method_id:Methods.id ->
+  unit ->
+  string * Run_result.t
+(** {!timeline}, also returning the run itself with its recorded trace
+    attached ([run.trace = Some _]) for metrics/trace export. *)
+
+(** {2 Telemetry export} *)
+
+val emit_telemetry :
+  spec:Spec.t ->
+  generator:string ->
+  (string * Run_result.t) list ->
+  unit
+(** Write the spec's [metrics_path] / [trace_path] files (whichever are
+    set) from labelled runs: the metrics file is
+    [{manifest, runs: [{run, metrics}]}] (see {!Telemetry}), the trace
+    file a combined Chrome [trace_event] document over every run that
+    carries a trace. *)
 
 (** {2 Shared plumbing} *)
 

@@ -6,6 +6,7 @@ type t = {
   mutable samples : float array;
   mutable n_samples : int;
   mutable tick : int;
+  hist : Obs.Hist.t;
 }
 
 let create ?(sample_stride = 16) () =
@@ -18,6 +19,7 @@ let create ?(sample_stride = 16) () =
     samples = Array.make 256 0.0;
     n_samples = 0;
     tick = 0;
+    hist = Obs.Hist.create ();
   }
 
 let push_sample t v =
@@ -30,6 +32,7 @@ let push_sample t v =
   t.n_samples <- t.n_samples + 1
 
 let add t v =
+  Obs.Hist.observe t.hist v;
   t.sum <- t.sum +. v;
   t.n <- t.n + 1;
   if v > t.max_v then t.max_v <- v;
@@ -41,6 +44,7 @@ let add t v =
 
 let add_many t v k =
   if k > 0 then begin
+    Obs.Hist.observe_n t.hist v k;
     t.sum <- t.sum +. (v *. float_of_int k);
     t.n <- t.n + k;
     if v > t.max_v then t.max_v <- v;
@@ -70,3 +74,5 @@ let percentile t p =
     in
     sorted.(idx)
   end
+
+let histogram t = Obs.Hist.snapshot t.hist

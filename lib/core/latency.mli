@@ -23,3 +23,8 @@ val percentile : t -> float -> float
 (** [percentile t 0.95] from the sampled reservoir; [0.] when empty. *)
 
 val max_seen : t -> float
+
+val histogram : t -> Obs.Hist.snapshot
+(** Log2-bucketed histogram over {e all} observations (not just the
+    reservoir): its exact count/sum reproduce {!count} and {!mean}, and
+    its [p95] upper bound brackets {!percentile}[ t 0.95]. *)

@@ -48,4 +48,8 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
     overflow_flushes = 0;
     mean_response_ns = Latency.mean lat;
     p95_response_ns = Latency.percentile lat 0.95;
+    metrics =
+      Telemetry.snapshot ~eng ~machines:[| m |] ~latency:lat
+        ~validation_errors:!errors ();
+    trace = None;
   }

@@ -183,4 +183,8 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
         0 slave_idx;
     mean_response_ns = Latency.mean lat;
     p95_response_ns = Latency.percentile lat 0.95;
+    metrics =
+      Telemetry.snapshot ~eng ~net ~machines:(Array.append masters slaves)
+        ~latency:lat ~validation_errors:!errors ();
+    trace = None;
   }

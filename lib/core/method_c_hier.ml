@@ -248,4 +248,10 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
         0 slave_idx;
     mean_response_ns = Latency.mean lat;
     p95_response_ns = Latency.percentile lat 0.95;
+    metrics =
+      Telemetry.snapshot ~eng ~net
+        ~machines:
+          (Array.append [| master |] (Array.append router_machines slaves))
+        ~latency:lat ~validation_errors:!errors ();
+    trace = None;
   }

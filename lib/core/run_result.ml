@@ -16,6 +16,8 @@ type t = {
   overflow_flushes : int;
   mean_response_ns : float;
   p95_response_ns : float;
+  metrics : Obs.Metrics.Snapshot.t;
+  trace : Simcore.Trace.t option;
 }
 
 let per_key_ns t = t.per_key_ns

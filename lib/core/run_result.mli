@@ -33,6 +33,14 @@ type t = {
           throughput at much smaller batches — hence much lower response
           times — than Method B. *)
   p95_response_ns : float;  (** 95th percentile of the same distribution. *)
+  metrics : Obs.Metrics.Snapshot.t;
+      (** Per-run telemetry registry snapshot: engine, per-node cache
+          hierarchy, network and response-time series (see
+          {!Telemetry.snapshot}).  Deterministic — identical for
+          identical runs at any worker count. *)
+  trace : Simcore.Trace.t option;
+      (** Event trace of the run, when the caller requested tracing
+          (e.g. [--trace-json]); [None] otherwise. *)
 }
 
 val per_key_ns : t -> float

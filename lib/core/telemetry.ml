@@ -1,0 +1,77 @@
+(* Central harvest point: every method driver builds its per-run metrics
+   registry here, so series names and label conventions stay uniform
+   across Methods A..C-3 and the hierarchical variant. *)
+
+let snapshot ~eng ?net ~machines ~latency ~validation_errors () =
+  let reg = Obs.Metrics.create () in
+  Simcore.Engine.record_metrics eng reg;
+  Array.iter (fun m -> Machine.record_metrics m reg) machines;
+  (match net with
+  | Some net -> Netsim.Network.record_metrics net reg
+  | None -> ());
+  Obs.Metrics.observe_hist reg "response_ns" (Latency.histogram latency);
+  Obs.Metrics.incr reg "validation_errors" validation_errors;
+  Obs.Metrics.snapshot reg
+
+let run_label (r : Run_result.t) =
+  Printf.sprintf "%s %s batch=%dKB"
+    (Methods.to_string r.Run_result.method_id)
+    r.Run_result.scenario
+    (r.Run_result.batch_bytes / 1024)
+
+(* Host-side wall-clock stats are real time, hence nondeterministic;
+   Manifest.to_json drops the host block under SOURCE_DATE_EPOCH so
+   metrics files stay byte-comparable across runs and worker counts. *)
+let host_fields () =
+  let s = Exec.Pool.host_stats () in
+  if s.Exec.Pool.batches = 0 then []
+  else
+    [
+      ("pool_batches", Obs.Json.Int s.Exec.Pool.batches);
+      ("pool_tasks", Obs.Json.Int s.Exec.Pool.tasks);
+      ("pool_task_wall_s", Obs.Json.Float s.Exec.Pool.task_wall_s);
+      ("pool_batch_wall_s", Obs.Json.Float s.Exec.Pool.batch_wall_s);
+      ("pool_max_task_wall_s", Obs.Json.Float s.Exec.Pool.max_task_wall_s);
+      ("pool_max_workers", Obs.Json.Int s.Exec.Pool.max_workers);
+    ]
+
+(* Note no [jobs] field: worker count is host execution provenance, not
+   a simulation input (results are byte-identical at any value), so it
+   lives in the host block via [pool_max_workers] and the metrics file
+   diffs clean across --jobs values. *)
+let manifest_fields (sc : Workload.Scenario.t) ~methods ~batches =
+  [
+    ("scenario", Obs.Json.String sc.Workload.Scenario.name);
+    ("seed", Obs.Json.Int sc.Workload.Scenario.seed);
+    ("n_keys", Obs.Json.Int sc.Workload.Scenario.n_keys);
+    ("n_queries", Obs.Json.Int sc.Workload.Scenario.n_queries);
+    ("n_nodes", Obs.Json.Int sc.Workload.Scenario.n_nodes);
+    ("network", Obs.Json.String sc.Workload.Scenario.net.Netsim.Profile.name);
+    ( "methods",
+      Obs.Json.List
+        (List.map (fun m -> Obs.Json.String (Methods.to_string m)) methods) );
+    ("batches", Obs.Json.List (List.map (fun b -> Obs.Json.Int b) batches));
+  ]
+
+let metrics_document ~generator ~fields runs =
+  let manifest = Obs.Manifest.create ~generator ~host:(host_fields ()) fields in
+  Obs.Json.Obj
+    [
+      ("manifest", Obs.Manifest.to_json manifest);
+      ( "runs",
+        Obs.Json.List
+          (List.map
+             (fun (label, snap) ->
+               Obs.Json.Obj
+                 [
+                   ("run", Obs.Json.String label);
+                   ("metrics", Obs.Metrics.Snapshot.to_json snap);
+                 ])
+             runs) );
+    ]
+
+let trace_document named = Simcore.Trace.combined_trace_event_json named
+
+let write_json path json =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string json))

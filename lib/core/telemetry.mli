@@ -1,0 +1,54 @@
+(** Per-run metrics harvesting and metrics/trace file assembly.
+
+    Method drivers call {!snapshot} once, at end of simulation, to fold
+    every layer's private counters — engine, per-node cache hierarchy,
+    interconnect, response-time distribution — into one immutable
+    registry snapshot stored on the {!Run_result.t}.  Snapshots are pure
+    functions of the simulation, so a sweep's snapshots are
+    byte-identical at any [--jobs] value.
+
+    The [*_document] helpers assemble the [--metrics] / [--trace-json]
+    output files: a metrics file is [{manifest, runs}] with the manifest
+    carrying seed / scenario / method / batch / network / git-describe /
+    schema-version provenance (plus host wall-time stats, suppressed when
+    [SOURCE_DATE_EPOCH] is set); a trace file is Chrome [trace_event]
+    JSON loadable at {{:https://ui.perfetto.dev}ui.perfetto.dev}. *)
+
+val snapshot :
+  eng:Simcore.Engine.t ->
+  ?net:'a Netsim.Network.t ->
+  machines:Machine.t array ->
+  latency:Latency.t ->
+  validation_errors:int ->
+  unit ->
+  Obs.Metrics.Snapshot.t
+(** Harvest one finished simulation into a registry snapshot: engine
+    counters, every machine's [node_*]/[mem_*]/[cache_*] series, the
+    network's [net_*] series (when present), the [response_ns] histogram
+    and the [validation_errors] counter. *)
+
+val run_label : Run_result.t -> string
+(** Stable label identifying a run inside a metrics/trace file:
+    ["<method> <scenario> batch=<n>KB"]. *)
+
+val manifest_fields :
+  Workload.Scenario.t ->
+  methods:Methods.id list ->
+  batches:int list ->
+  (string * Obs.Json.t) list
+(** Provenance fields for a sweep's manifest.  Worker count is omitted
+    deliberately: it is host provenance (results do not depend on it), so
+    it appears only in the manifest's host block and metrics files diff
+    clean across [--jobs] values. *)
+
+val metrics_document :
+  generator:string ->
+  fields:(string * Obs.Json.t) list ->
+  (string * Obs.Metrics.Snapshot.t) list ->
+  Obs.Json.t
+(** [{manifest, runs: [{run, metrics}]}]. *)
+
+val trace_document : (string * Simcore.Trace.t) list -> Obs.Json.t
+(** Combined Chrome [trace_event] document, one process per run. *)
+
+val write_json : string -> Obs.Json.t -> unit

@@ -11,6 +11,68 @@ type batch = {
   id : int;                 (* lets a worker skip a batch it has drained *)
 }
 
+(* Host-side wall-clock accounting, process-global and mutex-guarded:
+   every batch run through a pool (or through [run ~jobs:1]'s inline
+   path) adds to these.  Wall times are real seconds, so they are
+   inherently nondeterministic — consumers surface them only in
+   non-reproducible output (see Obs.Manifest.reproducible). *)
+type host_stats = {
+  batches : int;
+  tasks : int;
+  task_wall_s : float;  (* summed per-task wall time *)
+  batch_wall_s : float; (* summed end-to-end batch wall time *)
+  max_task_wall_s : float;
+  max_workers : int;    (* widest pool observed *)
+}
+
+let zero_host_stats =
+  {
+    batches = 0;
+    tasks = 0;
+    task_wall_s = 0.0;
+    batch_wall_s = 0.0;
+    max_task_wall_s = 0.0;
+    max_workers = 0;
+  }
+
+let stats_mutex = Mutex.create ()
+let stats = ref zero_host_stats
+
+let note_task dt =
+  Mutex.lock stats_mutex;
+  let s = !stats in
+  stats :=
+    {
+      s with
+      tasks = s.tasks + 1;
+      task_wall_s = s.task_wall_s +. dt;
+      max_task_wall_s = Float.max s.max_task_wall_s dt;
+    };
+  Mutex.unlock stats_mutex
+
+let note_batch ~workers dt =
+  Mutex.lock stats_mutex;
+  let s = !stats in
+  stats :=
+    {
+      s with
+      batches = s.batches + 1;
+      batch_wall_s = s.batch_wall_s +. dt;
+      max_workers = max s.max_workers workers;
+    };
+  Mutex.unlock stats_mutex
+
+let host_stats () =
+  Mutex.lock stats_mutex;
+  let s = !stats in
+  Mutex.unlock stats_mutex;
+  s
+
+let reset_host_stats () =
+  Mutex.lock stats_mutex;
+  stats := zero_host_stats;
+  Mutex.unlock stats_mutex
+
 type t = {
   n_jobs : int;
   mutex : Mutex.t;
@@ -100,10 +162,13 @@ let map t ~f xs =
   else begin
     let slots = Array.make n Empty in
     let run_task i =
+      let t0 = Unix.gettimeofday () in
       slots.(i) <-
         (try Value (f xs.(i))
-         with e -> Raised (e, Printexc.get_raw_backtrace ()))
+         with e -> Raised (e, Printexc.get_raw_backtrace ()));
+      note_task (Unix.gettimeofday () -. t0)
     in
+    let b0 = Unix.gettimeofday () in
     Mutex.lock t.mutex;
     let b =
       { run_task; n; next = 0; completed = 0; id = t.next_batch_id }
@@ -116,6 +181,7 @@ let map t ~f xs =
     done;
     t.batch <- None;
     Mutex.unlock t.mutex;
+    note_batch ~workers:t.n_jobs (Unix.gettimeofday () -. b0);
     Array.map
       (function
         | Value v -> v
@@ -127,7 +193,19 @@ let map t ~f xs =
 let run ~jobs thunks =
   match thunks with
   | [] -> []
-  | _ when jobs <= 1 -> List.map (fun f -> f ()) thunks
+  | _ when jobs <= 1 ->
+      let b0 = Unix.gettimeofday () in
+      let results =
+        List.map
+          (fun f ->
+            let t0 = Unix.gettimeofday () in
+            let v = f () in
+            note_task (Unix.gettimeofday () -. t0);
+            v)
+          thunks
+      in
+      note_batch ~workers:1 (Unix.gettimeofday () -. b0);
+      results
   | _ ->
       let arr = Array.of_list thunks in
       with_pool ~jobs:(min jobs (Array.length arr)) (fun t ->

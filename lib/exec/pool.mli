@@ -54,3 +54,23 @@ val run_deterministic : jobs:int -> (unit -> 'a) list -> 'a list
     {e and} sequentially in the calling domain, compares the two result
     lists structurally, and raises {!Nondeterministic} on any mismatch.
     Thunks are therefore executed twice and must be idempotent. *)
+
+(** {2 Host-side accounting}
+
+    Process-global wall-clock statistics over every batch run through any
+    pool (including the inline [run ~jobs:1] path).  Wall times are real
+    host seconds and thus nondeterministic — surface them only in
+    non-reproducible output channels (e.g. a metrics manifest's [host]
+    block, which is suppressed when [SOURCE_DATE_EPOCH] is set). *)
+
+type host_stats = {
+  batches : int;
+  tasks : int;
+  task_wall_s : float;  (** Summed per-task wall time. *)
+  batch_wall_s : float;  (** Summed end-to-end batch wall time. *)
+  max_task_wall_s : float;
+  max_workers : int;  (** Widest pool observed. *)
+}
+
+val host_stats : unit -> host_stats
+val reset_host_stats : unit -> unit

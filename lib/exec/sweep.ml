@@ -1,7 +1,10 @@
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
 let map ?(jobs = 1) ~f xs =
-  if jobs <= 1 || List.compare_length_with xs 1 <= 0 then List.map f xs
+  if jobs <= 1 || List.compare_length_with xs 1 <= 0 then
+    (* Inline, but still through Pool.run so host wall-time accounting
+       sees sequential sweeps too. *)
+    Pool.run ~jobs:1 (List.map (fun x () -> f x) xs)
   else
     Pool.with_pool ~jobs:(min jobs (List.length xs)) (fun t ->
         Array.to_list (Pool.map t ~f (Array.of_list xs)))

@@ -118,3 +118,9 @@ let dma_write t a data =
     ~bytes:(Array.length data * t.p.word_bytes)
 
 let flush_caches t = Cachesim.Hierarchy.flush t.hier
+
+let record_metrics t reg =
+  let labels = [ ("node", t.node_name) ] in
+  Obs.Metrics.incr_f reg ~labels "node_busy_ns" t.busy;
+  Obs.Metrics.gauge reg ~labels "node_words_allocated" (float_of_int t.brk);
+  Cachesim.Hierarchy.record_metrics t.hier ~labels reg

@@ -77,3 +77,9 @@ val dma_write : t -> int -> int array -> unit
 
 val flush_caches : t -> unit
 (** Cold-start the node's caches and TLB. *)
+
+val record_metrics : t -> Obs.Metrics.t -> unit
+(** Dump the node's accounting into a metrics registry — [node_busy_ns]
+    (counter), [node_words_allocated] (gauge) and the full cache-hierarchy
+    breakdown via {!Cachesim.Hierarchy.record_metrics} — every series
+    labelled [node=<name>]. *)

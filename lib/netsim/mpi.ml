@@ -5,6 +5,11 @@ type 'a t = {
   (* Unexpected-message queues, one per rank: messages received from the
      network but not yet matched by a selective recv. *)
   stash : 'a Network.envelope Queue.t array;
+  mutable sends : int;
+  mutable recvs : int;
+  mutable stash_hits : int; (* recvs satisfied from the stash *)
+  mutable stashed : int; (* messages parked while waiting for a match *)
+  mutable collectives : (string * int) list; (* per-op call counts *)
 }
 
 let create eng profile ~ranks =
@@ -14,7 +19,20 @@ let create eng profile ~ranks =
     net = Network.create eng profile ~nodes:ranks;
     n = ranks;
     stash = Array.init ranks (fun _ -> Queue.create ());
+    sends = 0;
+    recvs = 0;
+    stash_hits = 0;
+    stashed = 0;
+    collectives = [];
   }
+
+let count_collective t op =
+  let rec bump = function
+    | [] -> [ (op, 1) ]
+    | (name, n) :: rest ->
+        if name = op then (name, n + 1) :: rest else (name, n) :: bump rest
+  in
+  t.collectives <- bump t.collectives
 
 let engine t = t.eng
 let ranks t = t.n
@@ -27,6 +45,7 @@ let check_rank t r what =
 let isend t ~src ~dst ?(tag = 0) ~size payload =
   check_rank t src "isend";
   check_rank t dst "isend";
+  t.sends <- t.sends + 1;
   Network.isend t.net ~src ~dst ~tag ~size payload
 
 let matches ?source ?tag (env : 'a Network.envelope) =
@@ -48,14 +67,18 @@ let take_from_stash t ~rank ?source ?tag () =
 
 let recv t ~rank ?source ?tag () =
   check_rank t rank "recv";
+  t.recvs <- t.recvs + 1;
   match take_from_stash t ~rank ?source ?tag () with
-  | Some env -> (env.Network.src, env.Network.tag, env.Network.payload)
+  | Some env ->
+      t.stash_hits <- t.stash_hits + 1;
+      (env.Network.src, env.Network.tag, env.Network.payload)
   | None ->
       let rec wait () =
         let env = Network.recv t.net ~dst:rank in
         if matches ?source ?tag env then
           (env.Network.src, env.Network.tag, env.Network.payload)
         else begin
+          t.stashed <- t.stashed + 1;
           Queue.push env t.stash.(rank);
           wait ()
         end
@@ -86,6 +109,7 @@ let tag_reduce = -106
 
 let barrier t ~rank ~fill =
   check_rank t rank "barrier";
+  count_collective t "barrier";
   if t.n > 1 then
     if rank = 0 then begin
       for _ = 1 to t.n - 1 do
@@ -103,6 +127,7 @@ let barrier t ~rank ~fill =
 let bcast t ~rank ~root ~size v =
   check_rank t rank "bcast";
   check_rank t root "bcast";
+  count_collective t "bcast";
   if t.n = 1 || rank = root then begin
     if rank = root then
       for dst = 0 to t.n - 1 do
@@ -118,6 +143,7 @@ let bcast t ~rank ~root ~size v =
 let scatter t ~rank ~root ~size parts =
   check_rank t rank "scatter";
   check_rank t root "scatter";
+  count_collective t "scatter";
   if rank = root then begin
     if Array.length parts <> t.n then
       invalid_arg "Mpi.scatter: root must provide one element per rank";
@@ -134,6 +160,7 @@ let scatter t ~rank ~root ~size parts =
 let gather t ~rank ~root ~size v =
   check_rank t rank "gather";
   check_rank t root "gather";
+  count_collective t "gather";
   if rank = root then begin
     let out = Array.make t.n v in
     for _ = 1 to t.n - 1 do
@@ -150,6 +177,7 @@ let gather t ~rank ~root ~size v =
 let reduce t ~rank ~root ~size ~op v =
   check_rank t rank "reduce";
   check_rank t root "reduce";
+  count_collective t "reduce";
   if rank = root then begin
     let contributions = Array.make t.n None in
     contributions.(root) <- Some v;
@@ -171,3 +199,14 @@ let reduce t ~rank ~root ~size ~op v =
     isend t ~src:rank ~dst:root ~tag:tag_reduce ~size v;
     None
   end
+
+let record_metrics t reg =
+  Obs.Metrics.incr reg "mpi_sends" t.sends;
+  Obs.Metrics.incr reg "mpi_recvs" t.recvs;
+  Obs.Metrics.incr reg "mpi_stash_hits" t.stash_hits;
+  Obs.Metrics.incr reg "mpi_stashed" t.stashed;
+  List.iter
+    (fun (op, n) ->
+      Obs.Metrics.incr reg ~labels:[ ("op", op) ] "mpi_collectives" n)
+    t.collectives;
+  Network.record_metrics t.net reg

@@ -57,3 +57,9 @@ val reduce :
   'a t -> rank:int -> root:int -> size:int -> op:('a -> 'a -> 'a) -> 'a -> 'a option
 (** Rooted reduction: the root returns [Some] of the fold of all
     contributions (in rank order), others return [None]. *)
+
+val record_metrics : 'a t -> Obs.Metrics.t -> unit
+(** Dump communicator counters into a metrics registry — [mpi_sends],
+    [mpi_recvs], [mpi_stash_hits], [mpi_stashed] and per-operation
+    [mpi_collectives] ([op=barrier|bcast|...]) — then the underlying
+    network's counters via {!Network.record_metrics}. *)

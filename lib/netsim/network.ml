@@ -19,6 +19,8 @@ type 'a t = {
   mutable sent : int;
   mutable bytes : int;
   mutable delivered : int;
+  mutable queue_ns : float; (* summed send-to-delivery time *)
+  mutable in_flight : int;
 }
 
 let create eng prof ~nodes =
@@ -34,6 +36,8 @@ let create eng prof ~nodes =
     sent = 0;
     bytes = 0;
     delivered = 0;
+    queue_ns = 0.0;
+    in_flight = 0;
   }
 
 let engine t = t.eng
@@ -50,6 +54,16 @@ let isend t ~src ~dst ?(tag = 0) ~size payload =
   if size < 0 then invalid_arg "Network.isend: negative size";
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
+  t.in_flight <- t.in_flight + 1;
+  (match Trace.current () with
+  | Some tr ->
+      let now = Engine.now t.eng in
+      Trace.add_instant tr ~lane:"net"
+        ~label:(Printf.sprintf "send %d->%d (%dB)" src dst size)
+        ~t:now;
+      Trace.add_counter tr ~lane:"net" ~name:"net_in_flight" ~t:now
+        ~value:(float_of_int t.in_flight)
+  | None -> ());
   let env = { src; dst; tag; size; payload; sent_at = Engine.now t.eng } in
   let wire = Profile.transfer_ns t.prof size in
   (* The transfer is modelled cut-through: the sender's TX NIC is busy for
@@ -66,6 +80,14 @@ let isend t ~src ~dst ?(tag = 0) ~size payload =
           Resource.with_resource t.eng t.rx.(dst) (fun () ->
               Engine.delay t.eng wire);
           t.delivered <- t.delivered + 1;
+          t.in_flight <- t.in_flight - 1;
+          let now = Engine.now t.eng in
+          t.queue_ns <- t.queue_ns +. (now -. env.sent_at);
+          (match Trace.current () with
+          | Some tr ->
+              Trace.add_counter tr ~lane:"net" ~name:"net_in_flight" ~t:now
+                ~value:(float_of_int t.in_flight)
+          | None -> ());
           Channel.send t.mailboxes.(dst) env);
       Engine.delay t.eng wire;
       Resource.release t.eng t.tx.(src))
@@ -93,3 +115,19 @@ let tx_utilization t ~node =
 let rx_utilization t ~node =
   check_node t node "rx_utilization";
   Resource.utilization t.rx.(node) ~now:(Engine.now t.eng)
+
+let queue_ns t = t.queue_ns
+
+let record_metrics t reg =
+  Obs.Metrics.incr reg "net_messages_sent" t.sent;
+  Obs.Metrics.incr reg "net_bytes_sent" t.bytes;
+  Obs.Metrics.incr reg "net_messages_delivered" t.delivered;
+  Obs.Metrics.incr_f reg "net_queue_ns" t.queue_ns;
+  let now = Engine.now t.eng in
+  for i = 0 to t.n - 1 do
+    let labels = [ ("node", string_of_int i) ] in
+    Obs.Metrics.gauge reg ~labels "net_tx_busy_ns"
+      (Resource.busy_ns t.tx.(i) ~now);
+    Obs.Metrics.gauge reg ~labels "net_rx_busy_ns"
+      (Resource.busy_ns t.rx.(i) ~now)
+  done

@@ -54,3 +54,14 @@ val tx_utilization : 'a t -> node:int -> float
 (** Fraction of elapsed simulated time node's TX NIC was busy. *)
 
 val rx_utilization : 'a t -> node:int -> float
+
+val queue_ns : 'a t -> float
+(** Summed simulated time messages spent between [isend] and landing in
+    the destination mailbox (wire latency + serialisation + NIC queueing),
+    over all delivered messages. *)
+
+val record_metrics : 'a t -> Obs.Metrics.t -> unit
+(** Dump interconnect counters into a metrics registry:
+    [net_messages_sent], [net_bytes_sent], [net_messages_delivered],
+    [net_queue_ns] (counters) and per-node [net_tx_busy_ns] /
+    [net_rx_busy_ns] NIC-occupancy gauges labelled [node=<i>]. *)

@@ -1,0 +1,129 @@
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : (int, int) Hashtbl.t;
+}
+
+type snapshot = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  buckets : (int * int) list;
+}
+
+let create () : t =
+  {
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    buckets = Hashtbl.create 16;
+  }
+
+(* Bucket exponent: smallest e with v <= 2^e, i.e. v in (2^(e-1), 2^e].
+   frexp gives v = m * 2^e with m in [0.5, 1), so e is the answer except
+   exactly at powers of two, where frexp's e is one too high. *)
+let bucket_of v =
+  if v <= 0.0 then min_int
+  else
+    let m, e = Float.frexp v in
+    if m = 0.5 then e - 1 else e
+
+let bucket_upper e = if e = min_int then 0.0 else Float.ldexp 1.0 e
+
+let observe_n (t : t) v k =
+  if k < 0 then invalid_arg "Hist.observe_n: negative count";
+  if k > 0 then begin
+    t.count <- t.count + k;
+    t.sum <- t.sum +. (v *. float_of_int k);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    let b = bucket_of v in
+    let cur = Option.value (Hashtbl.find_opt t.buckets b) ~default:0 in
+    Hashtbl.replace t.buckets b (cur + k)
+  end
+
+let observe t v = observe_n t v 1
+
+let add_snapshot (t : t) (s : snapshot) =
+  t.count <- t.count + s.count;
+  t.sum <- t.sum +. s.sum;
+  if s.min_v < t.min_v then t.min_v <- s.min_v;
+  if s.max_v > t.max_v then t.max_v <- s.max_v;
+  List.iter
+    (fun (e, c) ->
+      let cur = Option.value (Hashtbl.find_opt t.buckets e) ~default:0 in
+      Hashtbl.replace t.buckets e (cur + c))
+    s.buckets
+
+let snapshot (t : t) : snapshot =
+  {
+    count = t.count;
+    sum = t.sum;
+    min_v = t.min_v;
+    max_v = t.max_v;
+    buckets =
+      Hashtbl.fold (fun e c acc -> (e, c) :: acc) t.buckets []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }
+
+let empty =
+  { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity; buckets = [] }
+
+(* Combine two sorted bucket lists with [op] on counts, dropping zeros. *)
+let combine op a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest -> List.filter_map (fun (e, c) -> let c = op 0 c in if c = 0 then None else Some (e, c)) rest
+    | rest, [] -> rest
+    | (ea, ca) :: ta, (eb, cb) :: tb ->
+        if ea < eb then (ea, ca) :: go ta b
+        else if ea > eb then
+          let c = op 0 cb in
+          if c = 0 then go a tb else (eb, c) :: go a tb
+        else
+          let c = op ca cb in
+          if c = 0 then go ta tb else (ea, c) :: go ta tb
+  in
+  go a b
+
+let merge a b =
+  {
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    min_v = Float.min a.min_v b.min_v;
+    max_v = Float.max a.max_v b.max_v;
+    buckets = combine ( + ) a.buckets b.buckets;
+  }
+
+let diff ~after ~before =
+  {
+    count = after.count - before.count;
+    sum = after.sum -. before.sum;
+    min_v = after.min_v;
+    max_v = after.max_v;
+    buckets = combine ( - ) after.buckets before.buckets;
+  }
+
+let mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+
+let quantile s q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Hist.quantile: q outside [0,1]";
+  if s.count = 0 then 0.0
+  else begin
+    let target =
+      let t = int_of_float (Float.round (q *. float_of_int s.count)) in
+      max 1 (min s.count t)
+    in
+    let rec go acc = function
+      | [] -> s.max_v
+      | (e, c) :: rest ->
+          let acc = acc + c in
+          if acc >= target then Float.min (bucket_upper e) s.max_v
+          else go acc rest
+    in
+    go 0 s.buckets
+  end

@@ -1,0 +1,49 @@
+(** Minimal JSON document model with a deterministic printer and a
+    recursive-descent parser.
+
+    This exists because the telemetry exporters must produce
+    byte-identical files across worker-domain counts: object members are
+    emitted exactly in the order the caller supplies them, and float
+    formatting uses the shortest representation that round-trips, so a
+    value prints the same way everywhere it appears.  The parser is the
+    test harness's half of the contract: everything the exporters emit
+    can be read back and compared structurally. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] (default [true]) indents with two spaces; the compact form
+    has no whitespace at all.  Both forms are deterministic. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error is a human-readable
+    message with a character offset.  Numbers without [.], [e] or [-]
+    exponents parse as [Int]; everything else as [Float]. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string} but raises [Failure]. *)
+
+(** {2 Accessors} (for tests and round-trip checks) *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on non-objects too. *)
+
+val to_list_exn : t -> t list
+val to_float_exn : t -> float
+(** Accepts [Int] as well. *)
+
+val to_int_exn : t -> int
+val to_string_exn : t -> string
+
+val float_to_string : float -> string
+(** The printer's float formatting: shortest [%.Ng] form ([N] in 12, 15,
+    17) that parses back to the same double; special values print as
+    [null] does not apply here — infinities and NaN are the caller's
+    responsibility and print as ["1e999"]/["-1e999"]/["nan"]. *)

@@ -1,0 +1,50 @@
+type t = {
+  generator : string option;
+  host : (string * Json.t) list;
+  fields : (string * Json.t) list;
+}
+
+let schema_version = 1
+
+let reproducible () = Sys.getenv_opt "SOURCE_DATE_EPOCH" <> None
+
+let timestamp () =
+  match Sys.getenv_opt "SOURCE_DATE_EPOCH" with
+  | Some s -> (
+      match float_of_string_opt s with Some f -> f | None -> 0.0)
+  | None -> Unix.gettimeofday ()
+
+let git_describe =
+  let cached = lazy (
+    try
+      let ic =
+        Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+      in
+      let line = try input_line ic with End_of_file -> "" in
+      let status = Unix.close_process_in ic in
+      match status with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown")
+  in
+  fun () -> Lazy.force cached
+
+let create ?generator ?(host = []) fields = { generator; host; fields }
+
+let to_json t =
+  let base =
+    [ ("schema_version", Json.Int schema_version) ]
+    @ (match t.generator with
+      | Some g -> [ ("generator", Json.String g) ]
+      | None -> [])
+    @ [
+        ("git", Json.String (git_describe ()));
+        ("generated_at", Json.Float (timestamp ()));
+      ]
+    @ t.fields
+  in
+  let host =
+    if t.host = [] || reproducible () then []
+    else [ ("host", Json.Obj t.host) ]
+  in
+  Json.Obj (base @ host)

@@ -5,6 +5,7 @@ type t = {
   mutable events : int;
   mutable spawned : int;
   mutable live : int;
+  mutable max_heap : int;
   mutable failure : (string * exn) option;
 }
 
@@ -22,6 +23,7 @@ let create () =
     events = 0;
     spawned = 0;
     live = 0;
+    max_heap = 0;
     failure = None;
   }
 
@@ -29,6 +31,7 @@ let now t = t.now
 let events_executed t = t.events
 let processes_spawned t = t.spawned
 let processes_live t = t.live
+let max_heap_depth t = t.max_heap
 
 let schedule_at t time f =
   if time < t.now then
@@ -36,7 +39,9 @@ let schedule_at t time f =
       (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.now);
   let seq = t.seq in
   t.seq <- seq + 1;
-  Pqueue.push t.queue ~time ~seq f
+  Pqueue.push t.queue ~time ~seq f;
+  let depth = Pqueue.length t.queue in
+  if depth > t.max_heap then t.max_heap <- depth
 
 let schedule_after t dt f = schedule_at t (t.now +. dt) f
 let schedule_now t f = schedule_at t t.now f
@@ -89,6 +94,12 @@ let step t =
       true
 
 let run t = while step t do () done
+
+let record_metrics t reg =
+  Obs.Metrics.incr reg "engine_events_executed" t.events;
+  Obs.Metrics.incr reg "engine_processes_spawned" t.spawned;
+  Obs.Metrics.gauge reg "engine_max_heap_depth" (float_of_int t.max_heap);
+  Obs.Metrics.gauge reg "engine_now_ns" t.now
 
 let run_until t horizon =
   let continue = ref true in

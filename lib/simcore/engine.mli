@@ -31,6 +31,14 @@ val processes_spawned : t -> int
 val processes_live : t -> int
 (** Number of spawned processes that have neither returned nor raised. *)
 
+val max_heap_depth : t -> int
+(** High-water mark of the event queue length (diagnostic). *)
+
+val record_metrics : t -> Obs.Metrics.t -> unit
+(** Dump the engine's counters into a metrics registry:
+    [engine_events_executed], [engine_processes_spawned] (counters) and
+    [engine_max_heap_depth], [engine_now_ns] (gauges). *)
+
 val schedule_at : t -> float -> (unit -> unit) -> unit
 (** [schedule_at t time f] runs [f] as an event at absolute [time]. [time]
     must not be in the past. *)

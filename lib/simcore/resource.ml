@@ -63,8 +63,9 @@ let with_resource engine t f =
       release engine t;
       raise exn
 
+let busy_ns t ~now =
+  let in_progress = if held t > 0 then now -. t.busy_since else 0.0 in
+  t.busy_ns +. in_progress
+
 let utilization t ~now =
-  if now <= 0.0 then 0.0
-  else
-    let in_progress = if held t > 0 then now -. t.busy_since else 0.0 in
-    (t.busy_ns +. in_progress) /. now
+  if now <= 0.0 then 0.0 else busy_ns t ~now /. now

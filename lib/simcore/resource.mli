@@ -28,6 +28,10 @@ val with_resource : Engine.t -> t -> (unit -> 'a) -> 'a
 (** [with_resource e r f] brackets [f] between [acquire] and [release];
     the unit is released even if [f] raises. *)
 
+val busy_ns : t -> now:float -> float
+(** Accumulated simulated time with at least one unit held, including the
+    in-progress interval up to [now]. *)
+
 val utilization : t -> now:float -> float
 (** Fraction of the time interval [0, now] during which at least one unit
     was held (busy time / now); [0.] when [now = 0.]. *)

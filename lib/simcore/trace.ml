@@ -1,35 +1,61 @@
 type span = { lane : string; label : string; t0 : float; t1 : float }
 
-type t = { mutable spans_rev : span list; mutable n : int }
+type event =
+  | Span of span
+  | Instant of { lane : string; label : string; t : float }
+  | Counter of { lane : string; name : string; t : float; value : float }
 
-let ambient : t option ref = ref None
+type t = { mutable events_rev : event list; mutable n : int }
 
-let create () = { spans_rev = []; n = 0 }
+(* One ambient slot per domain: sweep workers record concurrently into
+   their own run's trace without a shared mutable ref. *)
+let ambient : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let create () = { events_rev = []; n = 0 }
 
 let with_recording t f =
-  let saved = !ambient in
-  ambient := Some t;
-  Fun.protect ~finally:(fun () -> ambient := saved) f
+  let slot = Domain.DLS.get ambient in
+  let saved = !slot in
+  slot := Some t;
+  Fun.protect ~finally:(fun () -> slot := saved) f
 
-let current () = !ambient
+let current () = !(Domain.DLS.get ambient)
+
+let push t e =
+  t.events_rev <- e :: t.events_rev;
+  t.n <- t.n + 1
 
 let add t ~lane ~label ~t0 ~t1 =
   if t1 < t0 then invalid_arg "Trace.add: span ends before it starts";
-  t.spans_rev <- { lane; label; t0; t1 } :: t.spans_rev;
-  t.n <- t.n + 1
+  push t (Span { lane; label; t0; t1 })
 
-let spans t = List.rev t.spans_rev
+let add_instant t ~lane ~label ~t:time = push t (Instant { lane; label; t = time })
+
+let add_counter t ~lane ~name ~t:time ~value =
+  push t (Counter { lane; name; t = time; value })
+
+let events t = List.rev t.events_rev
+
+let spans t =
+  List.filter_map (function Span s -> Some s | _ -> None) (events t)
+
+let lane_of = function
+  | Span s -> s.lane
+  | Instant i -> i.lane
+  | Counter c -> c.lane
 
 let lanes t =
   let seen = Hashtbl.create 16 in
   List.fold_left
-    (fun acc s ->
-      if Hashtbl.mem seen s.lane then acc
+    (fun acc e ->
+      let lane = lane_of e in
+      if Hashtbl.mem seen lane then acc
       else begin
-        Hashtbl.add seen s.lane ();
-        s.lane :: acc
+        Hashtbl.add seen lane ();
+        lane :: acc
       end)
-    [] (spans t)
+    [] (events t)
   |> List.rev
 
 let total_busy t ~lane =
@@ -48,7 +74,30 @@ let render_gantt ?(width = 72) t =
         let c = int_of_float ((time -. start) /. range *. float_of_int width) in
         max 0 (min (width - 1) c)
       in
-      let lane_names = lanes t in
+      (* One grouping pass: per-lane rows and busy totals, lanes in
+         first-appearance order. *)
+      let rows : (string, Bytes.t * float ref) Hashtbl.t = Hashtbl.create 16 in
+      let order_rev = ref [] in
+      List.iter
+        (fun s ->
+          let row, busy =
+            match Hashtbl.find_opt rows s.lane with
+            | Some r -> r
+            | None ->
+                let r = (Bytes.make width '.', ref 0.0) in
+                Hashtbl.add rows s.lane r;
+                order_rev := s.lane :: !order_rev;
+                r
+          in
+          busy := !busy +. (s.t1 -. s.t0);
+          (* Paint at least one cell so zero-duration spans stay
+             visible. *)
+          let c0 = cell s.t0 in
+          for c = c0 to max c0 (cell (s.t1 -. 1e-12)) do
+            Bytes.set row c '#'
+          done)
+        all;
+      let lane_names = List.rev !order_rev in
       let name_width =
         List.fold_left (fun acc l -> max acc (String.length l)) 0 lane_names
       in
@@ -58,17 +107,102 @@ let render_gantt ?(width = 72) t =
            (Simtime.to_string stop));
       List.iter
         (fun lane ->
-          let row = Bytes.make width '.' in
-          List.iter
-            (fun s ->
-              if s.lane = lane then
-                for c = cell s.t0 to cell (s.t1 -. 1e-12) do
-                  Bytes.set row c '#'
-                done)
-            all;
-          let busy = total_busy t ~lane /. range in
+          let row, busy = Hashtbl.find rows lane in
           Buffer.add_string buf
             (Printf.sprintf "%-*s |%s| %4.1f%%\n" name_width lane
-               (Bytes.to_string row) (100.0 *. busy)))
+               (Bytes.to_string row)
+               (100.0 *. !busy /. range)))
         lane_names;
       Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export *)
+
+let us ns = ns /. 1e3
+
+let trace_event_objects ~pid t =
+  let tid_of = Hashtbl.create 16 in
+  let order_rev = ref [] in
+  let tid lane =
+    match Hashtbl.find_opt tid_of lane with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length tid_of in
+        Hashtbl.add tid_of lane i;
+        order_rev := (lane, i) :: !order_rev;
+        i
+  in
+  let common name ph lane rest =
+    Obs.Json.Obj
+      (("name", Obs.Json.String name)
+      :: ("ph", Obs.Json.String ph)
+      :: ("pid", Obs.Json.Int pid)
+      :: ("tid", Obs.Json.Int (tid lane))
+      :: rest)
+  in
+  let body =
+    List.map
+      (function
+        | Span s ->
+            common s.label "X" s.lane
+              [
+                ("ts", Obs.Json.Float (us s.t0));
+                ("dur", Obs.Json.Float (us (s.t1 -. s.t0)));
+              ]
+        | Instant i ->
+            common i.label "i" i.lane
+              [ ("ts", Obs.Json.Float (us i.t)); ("s", Obs.Json.String "t") ]
+        | Counter c ->
+            common c.name "C" c.lane
+              [
+                ("ts", Obs.Json.Float (us c.t));
+                ("args", Obs.Json.Obj [ (c.name, Obs.Json.Float c.value) ]);
+              ])
+      (events t)
+  in
+  let thread_names =
+    List.rev_map
+      (fun (lane, i) ->
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.String "thread_name");
+            ("ph", Obs.Json.String "M");
+            ("pid", Obs.Json.Int pid);
+            ("tid", Obs.Json.Int i);
+            ("args", Obs.Json.Obj [ ("name", Obs.Json.String lane) ]);
+          ])
+      !order_rev
+  in
+  thread_names @ body
+
+let process_name_object ~pid name =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String "process_name");
+      ("ph", Obs.Json.String "M");
+      ("pid", Obs.Json.Int pid);
+      ("args", Obs.Json.Obj [ ("name", Obs.Json.String name) ]);
+    ]
+
+let document events =
+  Obs.Json.Obj
+    [
+      ("traceEvents", Obs.Json.List events);
+      ("displayTimeUnit", Obs.Json.String "ns");
+    ]
+
+let to_trace_event_json ?(pid = 0) ?process_name t =
+  let header =
+    match process_name with
+    | Some name -> [ process_name_object ~pid name ]
+    | None -> []
+  in
+  document (header @ trace_event_objects ~pid t)
+
+let combined_trace_event_json named =
+  document
+    (List.concat
+       (List.mapi
+          (fun pid (name, t) ->
+            process_name_object ~pid name :: trace_event_objects ~pid t)
+          named))

@@ -1,41 +1,75 @@
-(** Execution tracing: named-lane busy spans collected during a
-    simulation and rendered as an ASCII Gantt chart.
+(** Execution tracing: a general event recorder for one simulation —
+    busy {e spans} on named lanes, {e instant} events, and sampled
+    {e counter} tracks — renderable as an ASCII Gantt chart or exported
+    as Chrome [trace_event] JSON that Perfetto / [chrome://tracing]
+    load directly.
 
     Tracing is opt-in around a region: {!with_recording} installs a fresh
     recorder as the ambient trace; instrumented components (e.g. the
-    simulated machine's [sync]) look the ambient trace up through
-    {!current} and add spans.  Outside a recording region, {!current} is
-    [None] and instrumentation is free.
+    simulated machine's [sync], the network's [isend]) look the ambient
+    trace up through {!current} and add events.  Outside a recording
+    region, {!current} is [None] and instrumentation is free.
 
-    The recorder is intentionally ambient rather than threaded through
-    every API: it is a diagnostic facility for one simulation at a time
-    (simulations themselves are single-threaded and deterministic). *)
+    The ambient recorder is {e domain-local} (one slot per OCaml 5
+    domain), so parallel sweep workers can each record their own run
+    without interfering; within a domain it behaves like the previous
+    global-ref design. *)
 
 type t
 
 type span = { lane : string; label : string; t0 : float; t1 : float }
 
+type event =
+  | Span of span
+  | Instant of { lane : string; label : string; t : float }
+  | Counter of { lane : string; name : string; t : float; value : float }
+      (** One sample of a counter track (e.g. bytes in flight). *)
+
 val create : unit -> t
 
 val with_recording : t -> (unit -> 'a) -> 'a
-(** Run a thunk with [t] as the ambient trace (restored afterwards, also
-    on exceptions). *)
+(** Run a thunk with [t] as this domain's ambient trace (restored
+    afterwards, also on exceptions). *)
 
 val current : unit -> t option
-(** The ambient trace, if inside {!with_recording}. *)
+(** The ambient trace of the calling domain, if inside
+    {!with_recording}. *)
 
 val add : t -> lane:string -> label:string -> t0:float -> t1:float -> unit
 (** Record a busy span; [t1 >= t0]. *)
 
+val add_instant : t -> lane:string -> label:string -> t:float -> unit
+val add_counter : t -> lane:string -> name:string -> t:float -> value:float -> unit
+
+val events : t -> event list
+(** All events in recording order. *)
+
 val spans : t -> span list
-(** Spans in recording order. *)
+(** Spans only, in recording order. *)
 
 val lanes : t -> string list
-(** Distinct lanes in first-appearance order. *)
+(** Distinct lanes over all event kinds, in first-appearance order. *)
 
 val total_busy : t -> lane:string -> float
 
 val render_gantt : ?width:int -> t -> string
-(** One row per lane; [#] marks simulated time where the lane was busy,
-    [.] idle.  The time axis spans the earliest to the latest recorded
-    span. *)
+(** One row per span-carrying lane; [#] marks simulated time where the
+    lane was busy, [.] idle.  The time axis spans the earliest to the
+    latest recorded span.  A zero-duration span still paints one cell.
+    Instant and counter events do not appear in the chart. *)
+
+(** {2 Chrome trace_event export}
+
+    The JSON documents use the [trace_event] format's object form:
+    [{"traceEvents": [...], "displayTimeUnit": "ns"}].  Simulated
+    nanoseconds map to the format's microsecond [ts] field; each lane
+    becomes a named thread, each trace a named process.  Open the file
+    at {{:https://ui.perfetto.dev}ui.perfetto.dev} (or
+    [chrome://tracing]). *)
+
+val to_trace_event_json : ?pid:int -> ?process_name:string -> t -> Obs.Json.t
+(** One trace as a complete document. *)
+
+val combined_trace_event_json : (string * t) list -> Obs.Json.t
+(** Many traces (e.g. every run of a sweep) in one document: the [i]-th
+    trace becomes process [i] with the given name. *)

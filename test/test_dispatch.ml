@@ -291,7 +291,7 @@ and test_experiment_table3_structure () =
   let rows = Dispatch.Experiment.table3 ~scenario:tiny_sc () in
   check_int "three strategies" 3 (List.length rows);
   List.iter
-    (fun { Dispatch.Experiment.method_id = _; predicted_ns; simulated_ns } ->
+    (fun { Dispatch.Experiment.method_id = _; predicted_ns; simulated_ns; _ } ->
       check_bool "positive prediction" true (predicted_ns > 0.0);
       check_bool "positive simulation" true (simulated_ns > 0.0))
     rows;

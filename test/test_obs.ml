@@ -1,0 +1,508 @@
+(* Tests for the observability subsystem: metrics registry semantics,
+   snapshot algebra, JSON round-trips, trace_event export and
+   cross-worker-count determinism of harvested run telemetry. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Hist *)
+
+let test_hist_buckets () =
+  (* v lands in bucket e with v in (2^(e-1), 2^e]. *)
+  check_int "1.0" 0 (Obs.Hist.bucket_of 1.0);
+  check_int "1.5" 1 (Obs.Hist.bucket_of 1.5);
+  check_int "2.0" 1 (Obs.Hist.bucket_of 2.0);
+  check_int "2.1" 2 (Obs.Hist.bucket_of 2.1);
+  check_int "1024" 10 (Obs.Hist.bucket_of 1024.0);
+  check_int "0.5" (-1) (Obs.Hist.bucket_of 0.5);
+  check_int "zero" min_int (Obs.Hist.bucket_of 0.0);
+  check_int "negative" min_int (Obs.Hist.bucket_of (-3.0));
+  check_float "upper 3" 8.0 (Obs.Hist.bucket_upper 3);
+  check_float "upper nonpositive" 0.0 (Obs.Hist.bucket_upper min_int)
+
+let test_hist_stats () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe h) [ 1.0; 3.0; 5.0; 7.0 ];
+  Obs.Hist.observe_n h 100.0 2;
+  let s = Obs.Hist.snapshot h in
+  check_int "count" 6 s.Obs.Hist.count;
+  check_float "sum" 216.0 s.Obs.Hist.sum;
+  check_float "min" 1.0 s.Obs.Hist.min_v;
+  check_float "max" 100.0 s.Obs.Hist.max_v;
+  (* Mean comes from the exact sum, not bucket midpoints. *)
+  check_float "mean" 36.0 (Obs.Hist.mean s);
+  (* p100 is clamped to the exact max. *)
+  check_float "q1.0" 100.0 (Obs.Hist.quantile s 1.0);
+  (* The median falls in the bucket of 5.0: (4, 8]. *)
+  check_float "q0.5" 8.0 (Obs.Hist.quantile s 0.5)
+
+let test_hist_algebra () =
+  let mk vs =
+    let h = Obs.Hist.create () in
+    List.iter (Obs.Hist.observe h) vs;
+    Obs.Hist.snapshot h
+  in
+  let a = mk [ 1.0; 2.0; 9.0 ] and b = mk [ 3.0; 4.0 ] in
+  let m = Obs.Hist.merge a b in
+  check_int "merge count" 5 m.Obs.Hist.count;
+  check_float "merge sum" 19.0 m.Obs.Hist.sum;
+  check_float "merge min" 1.0 m.Obs.Hist.min_v;
+  check_float "merge max" 9.0 m.Obs.Hist.max_v;
+  (* diff inverts merge on counts and sums (buckets with zero counts are
+     dropped, so structural equality holds too). *)
+  let d = Obs.Hist.diff ~after:m ~before:b in
+  check_int "diff count" a.Obs.Hist.count d.Obs.Hist.count;
+  check_float "diff sum" a.Obs.Hist.sum d.Obs.Hist.sum;
+  check_bool "diff buckets" true (d.Obs.Hist.buckets = a.Obs.Hist.buckets);
+  (* add_snapshot merges into a live accumulator. *)
+  let h = Obs.Hist.create () in
+  Obs.Hist.observe h 5.0;
+  Obs.Hist.add_snapshot h b;
+  let s = Obs.Hist.snapshot h in
+  check_int "add_snapshot count" 3 s.Obs.Hist.count;
+  check_float "add_snapshot sum" 12.0 s.Obs.Hist.sum
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_counters () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.incr reg "events" 3;
+  Obs.Metrics.incr reg "events" 4;
+  Obs.Metrics.incr reg ~labels:[ ("node", "a") ] "events" 1;
+  Obs.Metrics.gauge reg "depth" 5.0;
+  Obs.Metrics.gauge reg "depth" 2.0;
+  Obs.Metrics.observe reg "lat" 10.0;
+  Obs.Metrics.observe reg "lat" 20.0;
+  let s = Obs.Metrics.snapshot reg in
+  (match Obs.Metrics.Snapshot.find s "events" with
+  | Some (Obs.Metrics.Snapshot.Counter v) -> check_float "counter sums" 7.0 v
+  | _ -> Alcotest.fail "events not a counter");
+  (match Obs.Metrics.Snapshot.find s ~labels:[ ("node", "a") ] "events" with
+  | Some (Obs.Metrics.Snapshot.Counter v) ->
+      check_float "labelled series separate" 1.0 v
+  | _ -> Alcotest.fail "labelled events missing");
+  (match Obs.Metrics.Snapshot.find s "depth" with
+  | Some (Obs.Metrics.Snapshot.Gauge v) -> check_float "gauge last-wins" 2.0 v
+  | _ -> Alcotest.fail "depth not a gauge");
+  (match Obs.Metrics.Snapshot.find s "lat" with
+  | Some (Obs.Metrics.Snapshot.Histogram h) ->
+      check_int "hist count" 2 h.Obs.Hist.count;
+      check_float "hist mean" 15.0 (Obs.Hist.mean h)
+  | _ -> Alcotest.fail "lat not a histogram");
+  check_bool "missing series" true
+    (Obs.Metrics.Snapshot.find s "nope" = None)
+
+let test_snapshot_sorted_and_unique () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.incr reg "z" 1;
+  Obs.Metrics.incr reg "a" 1;
+  Obs.Metrics.incr reg ~labels:[ ("n", "2") ] "a" 1;
+  Obs.Metrics.incr reg ~labels:[ ("n", "1") ] "a" 1;
+  let s = Obs.Metrics.snapshot reg in
+  let keys =
+    List.map
+      (fun e ->
+        ( e.Obs.Metrics.Snapshot.name,
+          e.Obs.Metrics.Snapshot.labels ))
+      s
+  in
+  check_bool "sorted by (name, labels)" true (keys = List.sort compare keys);
+  check_int "no duplicate keys" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_snapshot_algebra () =
+  let mk l =
+    let reg = Obs.Metrics.create () in
+    List.iter (fun (n, v) -> Obs.Metrics.incr reg n v) l;
+    Obs.Metrics.snapshot reg
+  in
+  let before = mk [ ("x", 2); ("y", 5) ] in
+  let after = mk [ ("x", 10); ("y", 5) ] in
+  let d = Obs.Metrics.Snapshot.diff ~after ~before in
+  (match Obs.Metrics.Snapshot.find d "x" with
+  | Some (Obs.Metrics.Snapshot.Counter v) -> check_float "diff subtracts" 8.0 v
+  | _ -> Alcotest.fail "x missing from diff");
+  let m = Obs.Metrics.Snapshot.merge before after in
+  (match Obs.Metrics.Snapshot.find m "x" with
+  | Some (Obs.Metrics.Snapshot.Counter v) -> check_float "merge adds" 12.0 v
+  | _ -> Alcotest.fail "x missing from merge");
+  (* merge with empty is identity. *)
+  check_bool "merge empty right" true
+    (Obs.Metrics.Snapshot.merge before Obs.Metrics.Snapshot.empty = before);
+  check_bool "merge empty left" true
+    (Obs.Metrics.Snapshot.merge Obs.Metrics.Snapshot.empty before = before);
+  (* diff after merge recovers the other operand for counters. *)
+  check_bool "merge then diff" true
+    (Obs.Metrics.Snapshot.diff ~after:m ~before = after)
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_roundtrip () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("int", Obs.Json.Int 42);
+        ("neg", Obs.Json.Int (-7));
+        ("float", Obs.Json.Float 1.5);
+        ("tiny", Obs.Json.Float 1.25e-9);
+        ("string", Obs.Json.String "a\"b\\c\nd\te\x01f");
+        ("null", Obs.Json.Null);
+        ("true", Obs.Json.Bool true);
+        ("list", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.String "x" ]);
+        ("nested", Obs.Json.Obj [ ("k", Obs.Json.List []) ]);
+      ]
+  in
+  let s = Obs.Json.to_string j in
+  check_bool "pretty round-trip" true (Obs.Json.of_string_exn s = j);
+  let s' = Obs.Json.to_string ~pretty:false j in
+  check_bool "compact round-trip" true (Obs.Json.of_string_exn s' = j)
+
+let test_json_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    bad
+
+let test_metrics_json_roundtrip () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.incr reg "c" 41;
+  Obs.Metrics.incr_f reg ~labels:[ ("node", "n0"); ("level", "L1") ] "c" 0.5;
+  Obs.Metrics.gauge reg "g" 2.75;
+  Obs.Metrics.observe reg "h" 3.0;
+  Obs.Metrics.observe reg "h" 300.0;
+  let s = Obs.Metrics.snapshot reg in
+  match Obs.Metrics.Snapshot.of_json (Obs.Metrics.Snapshot.to_json s) with
+  | Error e -> Alcotest.failf "of_json failed: %s" e
+  | Ok s' -> check_bool "snapshot JSON round-trip" true (s = s')
+
+(* ------------------------------------------------------------------ *)
+(* Manifest *)
+
+let test_manifest () =
+  Unix.putenv "SOURCE_DATE_EPOCH" "123";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "SOURCE_DATE_EPOCH" "")
+    (fun () ->
+      check_bool "reproducible" true (Obs.Manifest.reproducible ());
+      check_float "timestamp from env" 123.0 (Obs.Manifest.timestamp ());
+      let m =
+        Obs.Manifest.create ~generator:"test"
+          ~host:[ ("volatile", Obs.Json.Int 9) ]
+          [ ("seed", Obs.Json.Int 42) ]
+      in
+      let j = Obs.Manifest.to_json m in
+      (match Obs.Json.member "schema_version" j with
+      | Some (Obs.Json.Int v) -> check_int "schema version" 1 v
+      | _ -> Alcotest.fail "schema_version missing");
+      (match Obs.Json.member "seed" j with
+      | Some (Obs.Json.Int 42) -> ()
+      | _ -> Alcotest.fail "caller field missing");
+      check_bool "git present" true (Obs.Json.member "git" j <> None);
+      (* Host block (wall times etc.) is suppressed in reproducible mode. *)
+      check_bool "host suppressed" true (Obs.Json.member "host" j = None))
+
+(* ------------------------------------------------------------------ *)
+(* Trace: gantt regression + trace_event export *)
+
+let test_gantt_zero_duration_span () =
+  let tr = Simcore.Trace.create () in
+  Simcore.Trace.add tr ~lane:"cpu" ~label:"tick" ~t0:5.0 ~t1:5.0;
+  let g = Simcore.Trace.render_gantt ~width:20 tr in
+  check_bool "zero-duration span paints a cell" true
+    (String.contains g '#');
+  (* And alongside a long span it still shows on its own lane. *)
+  let tr = Simcore.Trace.create () in
+  Simcore.Trace.add tr ~lane:"a" ~label:"busy" ~t0:0.0 ~t1:100.0;
+  Simcore.Trace.add tr ~lane:"b" ~label:"blip" ~t0:50.0 ~t1:50.0;
+  let g = Simcore.Trace.render_gantt ~width:20 tr in
+  let lines = String.split_on_char '\n' g in
+  let row_of lane =
+    match
+      List.find_opt
+        (fun l ->
+          String.length l > String.length lane
+          && String.sub l 0 (String.length lane) = lane)
+        lines
+    with
+    | Some l -> l
+    | None -> Alcotest.failf "no gantt row for lane %s" lane
+  in
+  check_bool "blip lane visible" true (String.contains (row_of "b") '#')
+
+let test_gantt_lane_order_and_busy () =
+  let tr = Simcore.Trace.create () in
+  Simcore.Trace.add tr ~lane:"second" ~label:"x" ~t0:0.0 ~t1:4.0;
+  Simcore.Trace.add tr ~lane:"first" ~label:"y" ~t0:4.0 ~t1:8.0;
+  Simcore.Trace.add tr ~lane:"second" ~label:"z" ~t0:8.0 ~t1:12.0;
+  Simcore.Trace.add_instant tr ~lane:"ghost" ~label:"no row" ~t:1.0;
+  check_bool "lanes in first-appearance order" true
+    (Simcore.Trace.lanes tr = [ "second"; "first"; "ghost" ]);
+  check_float "total busy sums spans" 8.0
+    (Simcore.Trace.total_busy tr ~lane:"second");
+  let g = Simcore.Trace.render_gantt tr in
+  (* Span-less lanes don't get chart rows. *)
+  check_bool "instant-only lane has no row" true
+    (not
+       (List.exists
+          (fun l -> String.length l >= 5 && String.sub l 0 5 = "ghost")
+          (String.split_on_char '\n' g)))
+
+let test_trace_event_roundtrip () =
+  let tr = Simcore.Trace.create () in
+  Simcore.Trace.add tr ~lane:"master" ~label:"dispatch" ~t0:1000.0 ~t1:3000.0;
+  Simcore.Trace.add tr ~lane:"slave0" ~label:"lookup" ~t0:2000.0 ~t1:2500.0;
+  Simcore.Trace.add_instant tr ~lane:"net" ~label:"send 0->1" ~t:1500.0;
+  Simcore.Trace.add_counter tr ~lane:"net" ~name:"in_flight" ~t:1500.0
+    ~value:1.0;
+  let j =
+    Simcore.Trace.to_trace_event_json ~pid:0 ~process_name:"run0" tr
+  in
+  let parsed = Obs.Json.of_string_exn (Obs.Json.to_string j) in
+  let events =
+    Obs.Json.to_list_exn (Option.get (Obs.Json.member "traceEvents" parsed))
+  in
+  let ph_of e = Obs.Json.to_string_exn (Option.get (Obs.Json.member "ph" e)) in
+  (* tid -> lane mapping from the thread_name metadata events. *)
+  let tid_lane = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if ph_of e = "M"
+         && Obs.Json.member "name" e = Some (Obs.Json.String "thread_name")
+      then
+        Hashtbl.replace tid_lane
+          (Obs.Json.to_int_exn (Option.get (Obs.Json.member "tid" e)))
+          (Obs.Json.to_string_exn
+             (Option.get
+                (Obs.Json.member "name"
+                   (Option.get (Obs.Json.member "args" e))))))
+    events;
+  let spans_back =
+    List.filter_map
+      (fun e ->
+        if ph_of e <> "X" then None
+        else
+          let f k = Obs.Json.to_float_exn (Option.get (Obs.Json.member k e)) in
+          let ts = f "ts" and dur = f "dur" in
+          Some
+            {
+              Simcore.Trace.lane =
+                Hashtbl.find tid_lane
+                  (Obs.Json.to_int_exn (Option.get (Obs.Json.member "tid" e)));
+              label =
+                Obs.Json.to_string_exn
+                  (Option.get (Obs.Json.member "name" e));
+              (* ts/dur are microseconds; simulated time is ns. *)
+              t0 = ts *. 1e3;
+              t1 = (ts +. dur) *. 1e3;
+            })
+      events
+  in
+  check_bool "spans survive the export round-trip" true
+    (spans_back = Simcore.Trace.spans tr);
+  check_int "one instant" 1
+    (List.length (List.filter (fun e -> ph_of e = "i") events));
+  check_int "one counter sample" 1
+    (List.length (List.filter (fun e -> ph_of e = "C") events));
+  (* Combined export: one process per run, in order. *)
+  let tr2 = Simcore.Trace.create () in
+  Simcore.Trace.add tr2 ~lane:"x" ~label:"y" ~t0:0.0 ~t1:1.0;
+  let combined =
+    Simcore.Trace.combined_trace_event_json [ ("r0", tr); ("r1", tr2) ]
+  in
+  let evs =
+    Obs.Json.to_list_exn (Option.get (Obs.Json.member "traceEvents" combined))
+  in
+  let pids =
+    List.sort_uniq compare
+      (List.map
+         (fun e -> Obs.Json.to_int_exn (Option.get (Obs.Json.member "pid" e)))
+         evs)
+  in
+  check_bool "two processes" true (pids = [ 0; 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: harvested run telemetry *)
+
+let small_scenario =
+  { Workload.Scenario.ci with Workload.Scenario.n_queries = 8192 }
+
+let test_run_metrics_deterministic () =
+  let sc = small_scenario in
+  let keys, queries = Dispatch.Runner.workload sc in
+  let go () = Dispatch.Runner.run sc ~method_id:Dispatch.Methods.C3 ~keys ~queries in
+  let r1 = go () and r2 = go () in
+  check_bool "identical runs yield identical snapshots" true
+    (r1.Dispatch.Run_result.metrics = r2.Dispatch.Run_result.metrics);
+  (* And across worker counts via the sweep executor. *)
+  let spec =
+    Dispatch.Experiment.Spec.default
+    |> Dispatch.Experiment.Spec.with_scenario sc
+    |> Dispatch.Experiment.Spec.with_batches [ 8 * 1024 ]
+    |> Dispatch.Experiment.Spec.with_methods [ Dispatch.Methods.B; Dispatch.Methods.C3 ]
+  in
+  let snaps_at jobs =
+    Dispatch.Experiment.fig3
+      ~spec:(Dispatch.Experiment.Spec.with_jobs jobs spec) ()
+    |> List.concat_map (fun row ->
+           List.map
+             (fun (r : Dispatch.Run_result.t) -> r.Dispatch.Run_result.metrics)
+             row.Dispatch.Experiment.results)
+  in
+  check_bool "snapshots identical at --jobs 1 vs 2" true
+    (snaps_at 1 = snaps_at 2)
+
+let test_run_metrics_contents () =
+  let sc = small_scenario in
+  let keys, queries = Dispatch.Runner.workload sc in
+  let r = Dispatch.Runner.run sc ~method_id:Dispatch.Methods.C3 ~keys ~queries in
+  let s = r.Dispatch.Run_result.metrics in
+  let counter name =
+    match Obs.Metrics.Snapshot.find s name with
+    | Some (Obs.Metrics.Snapshot.Counter v) -> v
+    | _ -> Alcotest.failf "counter %s missing" name
+  in
+  check_float "net messages match result" (float_of_int r.Dispatch.Run_result.messages)
+    (counter "net_messages_sent");
+  check_float "net bytes match result" (float_of_int r.Dispatch.Run_result.bytes_sent)
+    (counter "net_bytes_sent");
+  check_float "no validation errors" 0.0 (counter "validation_errors");
+  check_bool "engine events counted" true (counter "engine_events_executed" > 0.0);
+  (* Per-node cache series exist for master and a slave. *)
+  check_bool "master L2 misses present" true
+    (Obs.Metrics.Snapshot.find s
+       ~labels:[ ("level", "L2"); ("node", "master0") ]
+       "cache_misses"
+    <> None);
+  check_bool "slave mem accesses present" true
+    (Obs.Metrics.Snapshot.find s ~labels:[ ("node", "slave0") ] "mem_accesses"
+    <> None);
+  (* The response histogram is the same data as the headline mean. *)
+  match Obs.Metrics.Snapshot.find s "response_ns" with
+  | Some (Obs.Metrics.Snapshot.Histogram h) ->
+      check_int "histogram covers every query" r.Dispatch.Run_result.n_queries
+        h.Obs.Hist.count;
+      Alcotest.(check (float 1e-6))
+        "histogram mean = reported mean" r.Dispatch.Run_result.mean_response_ns
+        (Obs.Hist.mean h)
+  | _ -> Alcotest.fail "response_ns histogram missing"
+
+let test_traced_run () =
+  let sc = small_scenario in
+  let spec =
+    Dispatch.Experiment.Spec.default
+    |> Dispatch.Experiment.Spec.with_scenario sc
+    |> Dispatch.Experiment.Spec.with_batches [ 8 * 1024 ]
+    |> Dispatch.Experiment.Spec.with_methods [ Dispatch.Methods.C3 ]
+    |> Dispatch.Experiment.Spec.with_trace "/dev/null"
+  in
+  let rows = Dispatch.Experiment.fig3 ~spec () in
+  let r =
+    match rows with
+    | [ { Dispatch.Experiment.results = [ r ]; _ } ] -> r
+    | _ -> Alcotest.fail "expected one run"
+  in
+  match r.Dispatch.Run_result.trace with
+  | None -> Alcotest.fail "trace not recorded despite trace_path"
+  | Some tr ->
+      check_bool "machine busy spans recorded" true
+        (Simcore.Trace.spans tr <> []);
+      check_bool "network send instants recorded" true
+        (List.exists
+           (function Simcore.Trace.Instant _ -> true | _ -> false)
+           (Simcore.Trace.events tr))
+
+let test_mpi_record_metrics () =
+  let eng = Simcore.Engine.create () in
+  let comm = Netsim.Mpi.create eng Netsim.Profile.myrinet ~ranks:4 in
+  for r = 0 to 3 do
+    Simcore.Engine.spawn eng (fun () ->
+        Netsim.Mpi.barrier comm ~rank:r ~fill:0;
+        ignore (Netsim.Mpi.reduce comm ~rank:r ~root:0 ~size:4 ~op:( + ) r))
+  done;
+  Simcore.Engine.run eng;
+  let reg = Obs.Metrics.create () in
+  Netsim.Mpi.record_metrics comm reg;
+  let s = Obs.Metrics.snapshot reg in
+  let counter ?labels name =
+    match Obs.Metrics.Snapshot.find s ?labels name with
+    | Some (Obs.Metrics.Snapshot.Counter v) -> v
+    | _ -> Alcotest.failf "counter %s missing" name
+  in
+  check_float "barrier calls" 4.0
+    (counter ~labels:[ ("op", "barrier") ] "mpi_collectives");
+  check_float "reduce calls" 4.0
+    (counter ~labels:[ ("op", "reduce") ] "mpi_collectives");
+  check_bool "sends counted" true (counter "mpi_sends" > 0.0);
+  check_bool "network counters chained" true
+    (counter "net_messages_sent" = counter "mpi_sends")
+
+let test_render () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.incr reg ~labels:[ ("node", "n0") ] "hits" 12;
+  Obs.Metrics.gauge reg "depth" 3.0;
+  let out = Obs.Metrics.Snapshot.render (Obs.Metrics.snapshot reg) in
+  let contains sub =
+    let n = String.length sub and m = String.length out in
+    let rec go i = i + n <= m && (String.sub out i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "labelled counter line" true (contains "hits{node=n0}");
+  check_bool "gauge line" true (contains "depth");
+  check_string "one line per metric" "2"
+    (string_of_int
+       (List.length
+          (List.filter (fun l -> l <> "") (String.split_on_char '\n' out))))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_hist_buckets;
+          Alcotest.test_case "exact stats" `Quick test_hist_stats;
+          Alcotest.test_case "merge/diff algebra" `Quick test_hist_algebra;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter/gauge/hist semantics" `Quick
+            test_metrics_counters;
+          Alcotest.test_case "snapshot sorted+unique" `Quick
+            test_snapshot_sorted_and_unique;
+          Alcotest.test_case "snapshot diff/merge" `Quick test_snapshot_algebra;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "value round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_json_errors;
+          Alcotest.test_case "snapshot round-trip" `Quick
+            test_metrics_json_roundtrip;
+          Alcotest.test_case "manifest" `Quick test_manifest;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "gantt zero-duration span" `Quick
+            test_gantt_zero_duration_span;
+          Alcotest.test_case "gantt lanes and busy" `Quick
+            test_gantt_lane_order_and_busy;
+          Alcotest.test_case "trace_event round-trip" `Quick
+            test_trace_event_roundtrip;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "snapshots deterministic" `Quick
+            test_run_metrics_deterministic;
+          Alcotest.test_case "snapshot contents" `Quick
+            test_run_metrics_contents;
+          Alcotest.test_case "traced run" `Quick test_traced_run;
+          Alcotest.test_case "mpi counters" `Quick test_mpi_record_metrics;
+        ] );
+    ]
