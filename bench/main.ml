@@ -4,6 +4,16 @@
    the paper-shaped rows/series at bench scale, so the output doubles as a
    quick-look reproduction of the evaluation section.
 
+   Flags are Cmdliner terms shared with `repro` (see {!Cli}), so unknown
+   flags are errors and `bench --help` documents everything.  Two
+   baseline-gate modes short-circuit the benchmarks entirely:
+
+     bench --save-baseline FILE    capture the gated sweep's simulated
+                                   costs (promote an intentional change)
+     bench --check-baseline FILE   re-run the sweep and diff bit-for-bit
+                                   against the committed file (exit 1 on
+                                   any drift) — the @bench-baseline alias
+
    Scale note: Bechamel re-runs each staged function many times, so the
    artefact tests use a reduced query volume (2^15-2^17).  Per-key results
    are what the paper's figures compare and are stable under this scaling;
@@ -13,33 +23,8 @@ open Bechamel
 open Toolkit
 
 (* ------------------------------------------------------------------ *)
-(* Shared fixtures (built once, outside the timed regions) *)
-
-(* Flags: `--jobs N` (worker domains for the sweep-shaped artefacts
-   below; default cores - 1, floor 1), `--metrics FILE` and
-   `--trace-json FILE` (telemetry of the Figure 3 sweep, same formats as
-   repro's flags of the same names). *)
-let jobs =
-  let rec go = function
-    | "--jobs" :: n :: _ -> (
-        match int_of_string_opt n with
-        | Some n when n >= 1 -> n
-        | _ -> invalid_arg "bench: --jobs expects a positive integer")
-    | _ :: rest -> go rest
-    | [] -> Exec.Sweep.default_jobs ()
-  in
-  go (Array.to_list Sys.argv)
-
-let string_flag name =
-  let rec go = function
-    | flag :: v :: _ when flag = name -> Some v
-    | _ :: rest -> go rest
-    | [] -> None
-  in
-  go (Array.to_list Sys.argv)
-
-let metrics_path = string_flag "--metrics"
-let trace_path = string_flag "--trace-json"
+(* Shared fixtures (built once, outside the timed regions; lazy so the
+   baseline-gate modes never pay for them) *)
 
 let bench_scenario =
   {
@@ -48,95 +33,95 @@ let bench_scenario =
     n_queries = 1 lsl 15;
   }
 
-let keys, queries = Dispatch.Runner.workload bench_scenario
+let workload = lazy (Dispatch.Runner.workload bench_scenario)
 
 let fresh_machine () =
   Machine.create (Simcore.Engine.create ()) ~name:"bench"
     Cachesim.Mem_params.pentium3
 
-let lookup_queries = Array.sub queries 0 1024
-
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks: index structures (1024 simulated lookups each) *)
 
-let test_sorted_array =
-  let m = fresh_machine () in
-  let sa = Index.Sorted_array.build m keys in
-  Test.make ~name:"sorted-array/1k-lookups"
-    (Staged.stage @@ fun () ->
-     Array.iter (fun q -> ignore (Index.Sorted_array.search sa q)) lookup_queries)
-
-let test_nary =
-  let m = fresh_machine () in
-  let t = Index.Nary_tree.build m keys in
-  Test.make ~name:"nary-tree/1k-lookups"
-    (Staged.stage @@ fun () ->
-     Array.iter (fun q -> ignore (Index.Nary_tree.search t q)) lookup_queries)
-
-let test_csb =
-  let m = fresh_machine () in
-  let t = Index.Csb_tree.build m keys in
-  Test.make ~name:"csb-tree/1k-lookups"
-    (Staged.stage @@ fun () ->
-     Array.iter (fun q -> ignore (Index.Csb_tree.search t q)) lookup_queries)
-
-let test_buffered =
-  let m = fresh_machine () in
-  let t = Index.Nary_tree.build m keys in
-  let b = Index.Buffered.create ~max_batch:1024 t in
-  let region = Machine.alloc m 1024 in
-  Test.make ~name:"buffered/1k-batch"
-    (Staged.stage @@ fun () ->
-     Machine.poke_array m region lookup_queries;
-     Index.Buffered.process_batch b ~queries:region ~results:region ~n:1024)
-
-let test_eytzinger =
-  let m = fresh_machine () in
-  let t = Index.Eytzinger.build m keys in
-  Test.make ~name:"eytzinger/1k-lookups"
-    (Staged.stage @@ fun () ->
-     Array.iter (fun q -> ignore (Index.Eytzinger.search t q)) lookup_queries)
-
-let test_cache_access =
-  let h = Cachesim.Hierarchy.create Cachesim.Mem_params.pentium3 in
-  let g = Prng.Splitmix.create 3 in
-  let addrs = Array.init 4096 (fun _ -> Prng.Splitmix.int g (1 lsl 24)) in
-  Test.make ~name:"cachesim/4k-accesses"
-    (Staged.stage @@ fun () ->
-     Array.iter (fun a -> ignore (Cachesim.Hierarchy.access h ~addr:a ~write:false)) addrs)
-
-let test_engine =
-  Test.make ~name:"simcore/1k-process-switches"
-    (Staged.stage @@ fun () ->
-     let eng = Simcore.Engine.create () in
-     Simcore.Engine.spawn eng (fun () ->
-         for _ = 1 to 1000 do
-           Simcore.Engine.delay eng 1.0
-         done);
-     Simcore.Engine.run eng)
-
-let test_mpi_collectives =
-  Test.make ~name:"mpi/barrier+reduce-8-ranks"
-    (Staged.stage @@ fun () ->
-     let eng = Simcore.Engine.create () in
-     let comm = Netsim.Mpi.create eng Netsim.Profile.myrinet ~ranks:8 in
-     for r = 0 to 7 do
+let micro_tests ~jobs =
+  let keys, queries = Lazy.force workload in
+  let lookup_queries = Array.sub queries 0 1024 in
+  let test_sorted_array =
+    let m = fresh_machine () in
+    let sa = Index.Sorted_array.build m keys in
+    Test.make ~name:"sorted-array/1k-lookups"
+      (Staged.stage @@ fun () ->
+       Array.iter (fun q -> ignore (Index.Sorted_array.search sa q)) lookup_queries)
+  in
+  let test_nary =
+    let m = fresh_machine () in
+    let t = Index.Nary_tree.build m keys in
+    Test.make ~name:"nary-tree/1k-lookups"
+      (Staged.stage @@ fun () ->
+       Array.iter (fun q -> ignore (Index.Nary_tree.search t q)) lookup_queries)
+  in
+  let test_csb =
+    let m = fresh_machine () in
+    let t = Index.Csb_tree.build m keys in
+    Test.make ~name:"csb-tree/1k-lookups"
+      (Staged.stage @@ fun () ->
+       Array.iter (fun q -> ignore (Index.Csb_tree.search t q)) lookup_queries)
+  in
+  let test_buffered =
+    let m = fresh_machine () in
+    let t = Index.Nary_tree.build m keys in
+    let b = Index.Buffered.create ~max_batch:1024 t in
+    let region = Machine.alloc m 1024 in
+    Test.make ~name:"buffered/1k-batch"
+      (Staged.stage @@ fun () ->
+       Machine.poke_array m region lookup_queries;
+       Index.Buffered.process_batch b ~queries:region ~results:region ~n:1024)
+  in
+  let test_eytzinger =
+    let m = fresh_machine () in
+    let t = Index.Eytzinger.build m keys in
+    Test.make ~name:"eytzinger/1k-lookups"
+      (Staged.stage @@ fun () ->
+       Array.iter (fun q -> ignore (Index.Eytzinger.search t q)) lookup_queries)
+  in
+  let test_cache_access =
+    let h = Cachesim.Hierarchy.create Cachesim.Mem_params.pentium3 in
+    let g = Prng.Splitmix.create 3 in
+    let addrs = Array.init 4096 (fun _ -> Prng.Splitmix.int g (1 lsl 24)) in
+    Test.make ~name:"cachesim/4k-accesses"
+      (Staged.stage @@ fun () ->
+       Array.iter (fun a -> ignore (Cachesim.Hierarchy.access h ~addr:a ~write:false)) addrs)
+  in
+  let test_engine =
+    Test.make ~name:"simcore/1k-process-switches"
+      (Staged.stage @@ fun () ->
+       let eng = Simcore.Engine.create () in
        Simcore.Engine.spawn eng (fun () ->
-           Netsim.Mpi.barrier comm ~rank:r ~fill:0;
-           ignore (Netsim.Mpi.reduce comm ~rank:r ~root:0 ~size:8 ~op:( + ) r))
-     done;
-     Simcore.Engine.run eng)
-
-let test_pool_overhead =
-  (* Cost of fanning 64 trivial jobs over the pool: the executor's fixed
-     overhead, to be compared against a multi-ms simulation job. *)
-  Test.make ~name:(Printf.sprintf "exec/pool-64-jobs-%dw" jobs)
-    (Staged.stage @@ fun () ->
-     ignore
-       (Exec.Sweep.map ~jobs ~f:(fun i -> i * i)
-          (List.init 64 (fun i -> i))))
-
-let micro_tests =
+           for _ = 1 to 1000 do
+             Simcore.Engine.delay eng 1.0
+           done);
+       Simcore.Engine.run eng)
+  in
+  let test_mpi_collectives =
+    Test.make ~name:"mpi/barrier+reduce-8-ranks"
+      (Staged.stage @@ fun () ->
+       let eng = Simcore.Engine.create () in
+       let comm = Netsim.Mpi.create eng Netsim.Profile.myrinet ~ranks:8 in
+       for r = 0 to 7 do
+         Simcore.Engine.spawn eng (fun () ->
+             Netsim.Mpi.barrier comm ~rank:r ~fill:0;
+             ignore (Netsim.Mpi.reduce comm ~rank:r ~root:0 ~size:8 ~op:( + ) r))
+       done;
+       Simcore.Engine.run eng)
+  in
+  let test_pool_overhead =
+    (* Cost of fanning 64 trivial jobs over the pool: the executor's fixed
+       overhead, to be compared against a multi-ms simulation job. *)
+    Test.make ~name:(Printf.sprintf "exec/pool-64-jobs-%dw" jobs)
+      (Staged.stage @@ fun () ->
+       ignore
+         (Exec.Sweep.map ~jobs ~f:(fun i -> i * i)
+            (List.init 64 (fun i -> i))))
+  in
   Test.make_grouped ~name:"micro"
     [ test_sorted_array; test_nary; test_csb; test_buffered;
       test_eytzinger; test_cache_access; test_engine; test_mpi_collectives;
@@ -145,64 +130,65 @@ let micro_tests =
 (* ------------------------------------------------------------------ *)
 (* One test per paper artefact *)
 
-let test_table1 =
-  Test.make ~name:"table1/index-setup"
-    (Staged.stage @@ fun () ->
-     ignore (Dispatch.Experiment.table1 ~scenario:bench_scenario ()))
-
-let test_table2 =
-  Test.make ~name:"table2/calibration"
-    (Staged.stage @@ fun () ->
-     ignore
-       (Dispatch.Calibrate.measure Cachesim.Mem_params.pentium3
-          Netsim.Profile.myrinet))
-
-let fig3_point method_id =
-  let sc = Workload.Scenario.with_batch bench_scenario (128 * 1024) in
-  Test.make ~name:(Printf.sprintf "fig3/method-%s" (Dispatch.Methods.to_string method_id))
-    (Staged.stage @@ fun () ->
-     let r = Dispatch.Runner.run sc ~method_id ~keys ~queries in
-     assert (r.Dispatch.Run_result.validation_errors = 0))
-
-let test_fig3 =
-  Test.make_grouped ~name:"fig3"
-    (List.map fig3_point Dispatch.Methods.all)
-
-let test_hier_point =
-  let sc =
-    Workload.Scenario.with_batch
-      { bench_scenario with Workload.Scenario.n_nodes = 13 }
-      (128 * 1024)
+let artefact_tests () =
+  let keys, queries = Lazy.force workload in
+  let test_table1 =
+    Test.make ~name:"table1/index-setup"
+      (Staged.stage @@ fun () ->
+       ignore (Dispatch.Experiment.table1 ~scenario:bench_scenario ()))
   in
-  Test.make ~name:"extension/method-C3-hier"
-    (Staged.stage @@ fun () ->
-     let r =
-       Dispatch.Method_c_hier.run sc ~routers:2 ~variant:Dispatch.Methods.C3
-         ~keys ~queries ()
-     in
-     assert (r.Dispatch.Run_result.validation_errors = 0))
-
-let test_table3 =
-  Test.make ~name:"table3/model-predictions"
-    (Staged.stage @@ fun () ->
-     let sc = bench_scenario in
-     let shape = Dispatch.Experiment.model_shape sc ~keys in
-     let p = sc.Workload.Scenario.params in
-     ignore (Model.Predict.method_a p shape ~normalize_nodes:11);
-     ignore
-       (Model.Predict.method_b p shape
-          ~group_levels:(Dispatch.Experiment.group_height sc ~keys)
-          ~batch_keys:32768 ~normalize_nodes:11);
-     ignore
-       (Model.Predict.method_c3 p sc.Workload.Scenario.net ~slave_keys:32768
-          ~n_masters:1 ~n_slaves:10))
-
-let test_fig4 =
-  Test.make ~name:"fig4/trend-model"
-    (Staged.stage @@ fun () ->
-     ignore (Dispatch.Experiment.fig4 ~scenario:bench_scenario ~years:5 ()))
-
-let artefact_tests =
+  let test_table2 =
+    Test.make ~name:"table2/calibration"
+      (Staged.stage @@ fun () ->
+       ignore
+         (Dispatch.Calibrate.measure Cachesim.Mem_params.pentium3
+            Netsim.Profile.myrinet))
+  in
+  let fig3_point method_id =
+    let sc = Workload.Scenario.with_batch bench_scenario (128 * 1024) in
+    Test.make ~name:(Printf.sprintf "fig3/method-%s" (Dispatch.Methods.to_string method_id))
+      (Staged.stage @@ fun () ->
+       let r = Dispatch.Runner.run sc ~method_id ~keys ~queries in
+       assert (r.Dispatch.Run_result.validation_errors = 0))
+  in
+  let test_fig3 =
+    Test.make_grouped ~name:"fig3"
+      (List.map fig3_point Dispatch.Methods.all)
+  in
+  let test_hier_point =
+    let sc =
+      Workload.Scenario.with_batch
+        { bench_scenario with Workload.Scenario.n_nodes = 13 }
+        (128 * 1024)
+    in
+    Test.make ~name:"extension/method-C3-hier"
+      (Staged.stage @@ fun () ->
+       let r =
+         Dispatch.Method_c_hier.run sc ~routers:2 ~variant:Dispatch.Methods.C3
+           ~keys ~queries ()
+       in
+       assert (r.Dispatch.Run_result.validation_errors = 0))
+  in
+  let test_table3 =
+    Test.make ~name:"table3/model-predictions"
+      (Staged.stage @@ fun () ->
+       let sc = bench_scenario in
+       let shape = Dispatch.Experiment.model_shape sc ~keys in
+       let p = sc.Workload.Scenario.params in
+       ignore (Model.Predict.method_a p shape ~normalize_nodes:11);
+       ignore
+         (Model.Predict.method_b p shape
+            ~group_levels:(Dispatch.Experiment.group_height sc ~keys)
+            ~batch_keys:32768 ~normalize_nodes:11);
+       ignore
+         (Model.Predict.method_c3 p sc.Workload.Scenario.net ~slave_keys:32768
+            ~n_masters:1 ~n_slaves:10))
+  in
+  let test_fig4 =
+    Test.make ~name:"fig4/trend-model"
+      (Staged.stage @@ fun () ->
+       ignore (Dispatch.Experiment.fig4 ~scenario:bench_scenario ~years:5 ()))
+  in
   Test.make_grouped ~name:"paper"
     [ test_table1; test_table2; test_fig3; test_table3; test_fig4;
       test_hier_point ]
@@ -247,7 +233,9 @@ let print_results results =
 (* ------------------------------------------------------------------ *)
 (* Paper-shaped output at bench scale *)
 
-let print_paper_shapes () =
+let print_paper_shapes ~jobs ~metrics_path ~trace_path =
+  let keys, _ = Lazy.force workload in
+  ignore keys;
   print_endline "\n===== paper artefacts at bench scale =====\n";
   print_endline "--- Table 1 ---";
   print_string
@@ -302,9 +290,71 @@ let print_paper_shapes () =
     (Dispatch.Experiment.render_fig4
        (Dispatch.Experiment.fig4 ~scenario:bench_scenario ~years:5 ()))
 
-let () =
+let run_benchmarks ~jobs ~metrics_path ~trace_path =
   print_endline "===== microbenchmarks (bechamel) =====";
-  print_results (benchmark micro_tests);
+  print_results (benchmark (micro_tests ~jobs));
   print_endline "\n===== paper-artefact benchmarks (bechamel) =====";
-  print_results (benchmark artefact_tests);
-  print_paper_shapes ()
+  print_results (benchmark (artefact_tests ()));
+  print_paper_shapes ~jobs ~metrics_path ~trace_path
+
+(* ------------------------------------------------------------------ *)
+(* Entry point *)
+
+open Cmdliner
+
+let save_baseline_arg =
+  let doc =
+    "Run the baseline sweep (CI scenario, every method, 8 KB / 128 KB / \
+     1 MB batches) and save its simulated costs to $(docv); commit the \
+     file to promote a new baseline.  Skips the benchmarks."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-baseline" ] ~docv:"FILE" ~doc)
+
+let check_baseline_arg =
+  let doc =
+    "Re-run the baseline sweep and compare bit-for-bit against the \
+     committed $(docv); exits 1 on any drift.  Skips the benchmarks.  \
+     Run via `dune build @bench-baseline` in CI."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "check-baseline" ] ~docv:"FILE" ~doc)
+
+let main jobs metrics_path trace_path save check =
+  match (save, check) with
+  | Some _, Some _ ->
+      prerr_endline
+        "bench: --save-baseline and --check-baseline are mutually exclusive";
+      2
+  | Some path, None ->
+      let spec = Dispatch.Baseline.default_spec ~jobs in
+      Dispatch.Baseline.save ~path ~spec (Dispatch.Baseline.capture ~spec);
+      Printf.printf "wrote %s\n" path;
+      0
+  | None, Some path ->
+      let spec = Dispatch.Baseline.default_spec ~jobs in
+      let drifts = Dispatch.Baseline.check ~path ~spec in
+      print_endline (Dispatch.Baseline.render_drift drifts);
+      if drifts = [] then 0 else 1
+  | None, None ->
+      run_benchmarks ~jobs ~metrics_path ~trace_path;
+      0
+
+let () =
+  let info =
+    Cmd.info "bench" ~version:"1.0.0"
+      ~doc:
+        "Benchmark harness for the index-over-CPU-caches reproduction: \
+         Bechamel microbenchmarks, per-artefact timings, paper-shaped \
+         output at bench scale, and the simulated-cost baseline gate."
+  in
+  let term =
+    Term.(
+      const main $ Cli.jobs_arg $ Cli.metrics_arg $ Cli.trace_json_arg
+      $ save_baseline_arg $ check_baseline_arg)
+  in
+  exit (Cmd.eval' (Cmd.v info term))

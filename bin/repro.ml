@@ -1,154 +1,16 @@
 (* Command-line driver that regenerates every table and figure of the
    paper, plus the ablation studies.  `repro --help` lists subcommands.
 
-   All subcommands share one Spec-producing term: every flag below folds
-   into a single Dispatch.Experiment.Spec.t, so adding a new flag is a
-   matter of declaring its Arg and one line in [build]. *)
+   All subcommands share one Spec-producing term ({!Cli.spec_term},
+   shared with the bench harness): every flag folds into a single
+   Dispatch.Experiment.Spec.t, so adding a new flag is a matter of
+   declaring its Arg in [Cli] and one line in its [build]. *)
 
 open Cmdliner
 module Spec = Dispatch.Experiment.Spec
 
-let kib n = n * 1024
-
-(* ------------------------------------------------------------------ *)
-(* Shared options: one term, one Spec *)
-
-let scale_arg =
-  let doc =
-    "Workload scale: 'paper' (2^23 queries, as published), 'scaled' (2^21 \
-     queries, same per-key results, default) or 'ci' (tiny smoke test)."
-  in
-  Arg.(value & opt string "scaled" & info [ "scale" ] ~docv:"SCALE" ~doc)
-
-let queries_arg =
-  let doc = "Override the number of search keys (queries)." in
-  Arg.(value & opt (some int) None & info [ "queries" ] ~docv:"N" ~doc)
-
-let keys_arg =
-  let doc = "Override the number of indexed keys." in
-  Arg.(value & opt (some int) None & info [ "keys" ] ~docv:"N" ~doc)
-
-let nodes_arg =
-  let doc = "Override the cluster size (including the master)." in
-  Arg.(value & opt (some int) None & info [ "nodes" ] ~docv:"N" ~doc)
-
-let batch_arg =
-  let doc = "Override the batch/message size in KB." in
-  Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"KB" ~doc)
-
-let masters_arg =
-  let doc = "Number of master nodes for Method C (paper: 1)." in
-  Arg.(value & opt (some int) None & info [ "masters" ] ~docv:"N" ~doc)
-
-let network_arg =
-  let doc = "Network profile: myrinet | gige | fast-ethernet." in
-  Arg.(value & opt string "myrinet" & info [ "network" ] ~docv:"NET" ~doc)
-
-let seed_arg =
-  let doc = "Workload seed." in
-  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
-
-let jobs_arg =
-  let doc =
-    "Worker domains for simulation sweeps (default: available cores minus \
-     one, at least 1).  Results are byte-identical at any value."
-  in
-  Arg.(
-    value
-    & opt int (Exec.Sweep.default_jobs ())
-    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
-
-let methods_arg =
-  let doc = "Comma-separated methods to run (A,B,C-1,C-2,C-3)." in
-  let parse s =
-    let parts = String.split_on_char ',' s in
-    let rec go acc = function
-      | [] -> Ok (List.rev acc)
-      | p :: rest -> (
-          match Dispatch.Methods.of_string (String.trim p) with
-          | Some m -> go (m :: acc) rest
-          | None -> Error (`Msg (Printf.sprintf "unknown method %S" p)))
-    in
-    go [] parts
-  in
-  let print fmt ms =
-    Format.pp_print_string fmt
-      (String.concat "," (List.map Dispatch.Methods.to_string ms))
-  in
-  Arg.(
-    value
-    & opt (conv (parse, print)) []
-    & info [ "methods" ] ~docv:"METHODS" ~doc)
-
-let csv_arg =
-  let doc = "Also write raw results to $(docv)." in
-  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
-
-let metrics_arg =
-  let doc =
-    "Write a metrics JSON file: a run manifest (seed, scenario, methods, \
-     network, git revision, schema version) followed by every run's \
-     telemetry snapshot — cache, network, engine and response-time \
-     series.  Deterministic at any --jobs value; set SOURCE_DATE_EPOCH \
-     for byte-reproducible output."
-  in
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
-
-let trace_json_arg =
-  let doc =
-    "Record event traces (per-node busy spans, message sends, in-flight \
-     counters) and write them as Chrome trace_event JSON, loadable at \
-     ui.perfetto.dev or chrome://tracing."
-  in
-  Arg.(
-    value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
-
-(* Apply an optional override; absent flags leave the value untouched. *)
-let override v f x = match v with Some v -> f v x | None -> x
-
-let spec_term =
-  let build scale queries keys nodes masters batch network seed jobs methods
-      metrics trace_json =
-    let base =
-      match String.lowercase_ascii scale with
-      | "paper" -> Ok Workload.Scenario.paper
-      | "scaled" -> Ok Workload.Scenario.scaled
-      | "ci" -> Ok Workload.Scenario.ci
-      | other -> Error (`Msg (Printf.sprintf "unknown scale %S" other))
-    in
-    let net =
-      match String.lowercase_ascii network with
-      | "myrinet" -> Ok Netsim.Profile.myrinet
-      | "gige" | "gigabit" | "gigabit-ethernet" -> Ok Netsim.Profile.gigabit_ethernet
-      | "fast-ethernet" | "ethernet" -> Ok Netsim.Profile.fast_ethernet
-      | other -> Error (`Msg (Printf.sprintf "unknown network %S" other))
-    in
-    match (base, net) with
-    | Error e, _ | _, Error e -> Error e
-    | Ok sc, Ok net ->
-        let sc =
-          { sc with Workload.Scenario.net }
-          |> override queries (fun q sc -> { sc with Workload.Scenario.n_queries = q })
-          |> override keys (fun k sc -> { sc with Workload.Scenario.n_keys = k })
-          |> override nodes (fun n sc -> { sc with Workload.Scenario.n_nodes = n })
-          |> override masters (fun m sc -> { sc with Workload.Scenario.n_masters = m })
-          |> override batch (fun b sc -> Workload.Scenario.with_batch sc (kib b))
-        in
-        Ok
-          (Spec.default
-          |> Spec.with_scenario sc
-          |> Spec.with_jobs jobs
-          |> (match methods with [] -> Fun.id | ms -> Spec.with_methods ms)
-          |> override seed Spec.with_seed
-          |> override metrics Spec.with_metrics
-          |> override trace_json Spec.with_trace)
-  in
-  Term.(
-    term_result ~usage:true
-      (const build $ scale_arg $ queries_arg $ keys_arg $ nodes_arg
-     $ masters_arg $ batch_arg $ network_arg $ seed_arg $ jobs_arg
-     $ methods_arg $ metrics_arg $ trace_json_arg))
-
+let spec_term = Cli.spec_term
+let csv_arg = Cli.csv_arg
 let say fmt = Format.printf (fmt ^^ "@.")
 
 (* Output files are written before this check, so a failed validation
@@ -174,6 +36,14 @@ let check_validation runs =
 let labelled runs =
   List.map (fun r -> (Dispatch.Telemetry.run_label r, r)) runs
 
+(* The cost trees go to stdout with the artefact when --profile was
+   given; --profile-folded output is handled by [emit_telemetry]. *)
+let print_profiles spec runs =
+  if spec.Spec.profile then begin
+    print_newline ();
+    print_string (Dispatch.Experiment.profile_report runs)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Subcommands *)
 
@@ -194,6 +64,7 @@ let run_table3 spec =
   let runs =
     labelled (List.map (fun r -> r.Dispatch.Experiment.run) rows)
   in
+  print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro table3" runs;
   check_validation runs
 
@@ -219,6 +90,7 @@ let run_fig3 spec csv =
          (fun { Dispatch.Experiment.results; _ } -> results)
          rows)
   in
+  print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro fig3" runs;
   check_validation runs
 
@@ -264,6 +136,7 @@ let run_timeline spec =
   let rendered, r = Dispatch.Experiment.timeline_traced ~spec ~method_id () in
   print_string rendered;
   let runs = labelled [ r ] in
+  print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro timeline" runs;
   check_validation runs
 

@@ -12,6 +12,7 @@ type t = {
   mutable tlb_misses : int;
   mutable writebacks : int;
   mutable cost_ns : float;
+  mutable phase : string;
 }
 
 let create (p : Mem_params.t) =
@@ -45,30 +46,46 @@ let create (p : Mem_params.t) =
     tlb_misses = 0;
     writebacks = 0;
     cost_ns = 0.0;
+    phase = "mem";
   }
 
 let params t = t.p
 let l1 t = t.l1c
 let l2 t = t.l2c
+let set_phase t phase = t.phase <- phase
+let phase t = t.phase
 
 let access t ~addr ~write =
   t.accesses <- t.accesses + 1;
+  (* Every cost addend below is also attributed to the ambient profiler
+     (if one is installed) under (current phase, component), so the
+     profile's memory components sum to exactly what this access
+     returns. *)
+  let prof = Obs.Profile.current () in
+  let attr component c =
+    match prof with
+    | Some p -> Obs.Profile.charge p ~path:[ t.phase; component ] c
+    | None -> ()
+  in
   let cost = ref 0.0 in
   (match t.tlb with
   | Some tlb ->
       if not (Cache.access tlb ~addr ~write:false) then begin
         ignore (Cache.fill tlb ~addr ~write:false);
         t.tlb_misses <- t.tlb_misses + 1;
-        cost := !cost +. t.p.tlb_penalty_ns
+        cost := !cost +. t.p.tlb_penalty_ns;
+        attr "tlb_miss" t.p.tlb_penalty_ns
       end
   | None -> ());
   if Cache.access t.l1c ~addr ~write then begin
     t.l1_hits <- t.l1_hits + 1;
-    cost := !cost +. t.p.l1_hit_ns
+    cost := !cost +. t.p.l1_hit_ns;
+    attr "l1_hit" t.p.l1_hit_ns
   end
   else if Cache.access t.l2c ~addr ~write then begin
     t.l2_hits <- t.l2_hits + 1;
     cost := !cost +. t.p.b1_penalty_ns;
+    attr "l2_hit" t.p.b1_penalty_ns;
     ignore (Cache.fill t.l1c ~addr ~write)
   end
   else begin
@@ -76,15 +93,18 @@ let access t ~addr ~write =
     let line_cost = float_of_int t.p.l2_line /. t.p.mem_seq_bw in
     if Prefetcher.note_miss t.pf ~line then begin
       t.seq_misses <- t.seq_misses + 1;
-      cost := !cost +. line_cost
+      cost := !cost +. line_cost;
+      attr "ram_sequential" line_cost
     end
     else begin
       t.rand_misses <- t.rand_misses + 1;
-      cost := !cost +. t.p.b2_penalty_ns
+      cost := !cost +. t.p.b2_penalty_ns;
+      attr "ram_random" t.p.b2_penalty_ns
     end;
     if Cache.fill t.l2c ~addr ~write then begin
       t.writebacks <- t.writebacks + 1;
-      cost := !cost +. line_cost
+      cost := !cost +. line_cost;
+      attr "ram_writeback" line_cost
     end;
     ignore (Cache.fill t.l1c ~addr ~write)
   end;
@@ -166,6 +186,29 @@ let add_stats a b =
     writebacks = a.writebacks + b.writebacks;
     cost_ns = a.cost_ns +. b.cost_ns;
   }
+
+let sub_stats a b =
+  {
+    accesses = a.accesses - b.accesses;
+    l1_hits = a.l1_hits - b.l1_hits;
+    l2_hits = a.l2_hits - b.l2_hits;
+    seq_misses = a.seq_misses - b.seq_misses;
+    rand_misses = a.rand_misses - b.rand_misses;
+    tlb_misses = a.tlb_misses - b.tlb_misses;
+    writebacks = a.writebacks - b.writebacks;
+    cost_ns = a.cost_ns -. b.cost_ns;
+  }
+
+let stats_breakdown (p : Mem_params.t) (s : stats) =
+  let line_cost = float_of_int p.l2_line /. p.mem_seq_bw in
+  [
+    ("l1_hit", float_of_int s.l1_hits *. p.l1_hit_ns);
+    ("l2_hit", float_of_int s.l2_hits *. p.b1_penalty_ns);
+    ("ram_sequential", float_of_int s.seq_misses *. line_cost);
+    ("ram_random", float_of_int s.rand_misses *. p.b2_penalty_ns);
+    ("tlb_miss", float_of_int s.tlb_misses *. p.tlb_penalty_ns);
+    ("ram_writeback", float_of_int s.writebacks *. line_cost);
+  ]
 
 let pp_stats fmt s =
   let pct part whole =

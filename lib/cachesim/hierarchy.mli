@@ -23,7 +23,20 @@ val create : Mem_params.t -> t
 val params : t -> Mem_params.t
 
 val access : t -> addr:int -> write:bool -> float
-(** Cost in ns of referencing the word at byte address [addr]. *)
+(** Cost in ns of referencing the word at byte address [addr].  When an
+    {!Obs.Profile} is ambiently recording, each cost addend is also
+    charged to it under [(phase, component)] — components [tlb_miss],
+    [l1_hit], [l2_hit], [ram_sequential], [ram_random],
+    [ram_writeback]. *)
+
+val set_phase : t -> string -> unit
+(** Set the attribution phase (first profile path component) for
+    subsequent accesses.  Safe under process interleaving because each
+    hierarchy belongs to one machine, driven by exactly one simulated
+    process, and charges happen synchronously in driver code. *)
+
+val phase : t -> string
+(** Current attribution phase (initially ["mem"]). *)
 
 val flush : t -> unit
 (** Cold caches and TLB; statistics are kept. *)
@@ -56,7 +69,17 @@ val pp_stats : Format.formatter -> stats -> unit
 val add_stats : stats -> stats -> stats
 (** Pointwise sum, for aggregating over the nodes of a cluster. *)
 
+val sub_stats : stats -> stats -> stats
+(** Pointwise difference — [sub_stats after before] is the delta of an
+    interval, e.g. one batch on one node. *)
+
 val zero_stats : stats
+
+val stats_breakdown : Mem_params.t -> stats -> (string * float) list
+(** Reconstruct per-component nanoseconds from classification counts
+    under [params] (same component names as the {!access} profile
+    charges).  The list sums to [s.cost_ns] up to float reassociation;
+    pair with {!sub_stats} to decompose an interval's memory cost. *)
 
 val record_metrics : t -> ?labels:(string * string) list -> Obs.Metrics.t -> unit
 (** Dump the classification counters into a metrics registry

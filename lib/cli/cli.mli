@@ -1,0 +1,35 @@
+(** Shared Cmdliner vocabulary for the [repro] and [bench] executables.
+
+    {!spec_term} folds every workload/telemetry/profiling flag into one
+    {!Dispatch.Experiment.Spec.t}; the individual [Arg]s are exposed for
+    executables that compose a narrower flag set (the bench harness
+    reuses [--jobs], [--metrics] and [--trace-json] without the workload
+    overrides).  Both executables get unknown-flag rejection and
+    [--help] from Cmdliner for free. *)
+
+open Cmdliner
+
+val spec_term : Dispatch.Experiment.Spec.t Term.t
+(** [--scale], workload overrides ([--queries], [--keys], [--nodes],
+    [--masters], [--batch], [--network], [--seed]), [--jobs],
+    [--methods], telemetry outputs ([--metrics], [--trace-json]) and
+    profiling ([--profile], [--profile-folded], [--tail]). *)
+
+(** {2 Individual arguments} *)
+
+val scale_arg : string Term.t
+val queries_arg : int option Term.t
+val keys_arg : int option Term.t
+val nodes_arg : int option Term.t
+val batch_arg : int option Term.t
+val masters_arg : int option Term.t
+val network_arg : string Term.t
+val seed_arg : int option Term.t
+val jobs_arg : int Term.t
+val methods_arg : Dispatch.Methods.id list Term.t
+val csv_arg : string option Term.t
+val metrics_arg : string option Term.t
+val trace_json_arg : string option Term.t
+val profile_arg : bool Term.t
+val profile_folded_arg : string option Term.t
+val tail_arg : int Term.t

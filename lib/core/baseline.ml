@@ -1,0 +1,202 @@
+(* Benchmark baseline gate: capture the simulated cost of a small,
+   deterministic sweep into a committed JSON file, and compare later
+   runs against it bit-for-bit.  The simulator is deterministic, so any
+   drift — even one ULP of per-key cost — means a cost model changed,
+   deliberately or not. *)
+
+type entry = {
+  key : string;
+  method_id : string;
+  scenario : string;
+  batch_bytes : int;
+  per_key_ns : float;
+  raw_ns : float;
+  messages : int;
+  bytes_sent : int;
+}
+
+type drift = {
+  drift_key : string;
+  field : string;
+  expected : string;
+  actual : string;
+}
+
+let of_run (r : Run_result.t) =
+  {
+    key = Telemetry.run_label r;
+    method_id = Methods.to_string r.Run_result.method_id;
+    scenario = r.Run_result.scenario;
+    batch_bytes = r.Run_result.batch_bytes;
+    per_key_ns = r.Run_result.per_key_ns;
+    raw_ns = r.Run_result.raw_ns;
+    messages = r.Run_result.messages;
+    bytes_sent = r.Run_result.bytes_sent;
+  }
+
+(* The gated sweep: CI scenario, every method, three batch sizes
+   spanning the Figure 3 grid.  Small enough to run on every push,
+   wide enough that every cost model (cache, network, each index
+   structure) contributes to at least one cell. *)
+let batches = [ 8 * 1024; 128 * 1024; 1024 * 1024 ]
+
+let default_spec ~jobs =
+  Experiment.Spec.default
+  |> Experiment.Spec.with_scenario Workload.Scenario.ci
+  |> Experiment.Spec.with_batches batches
+  |> Experiment.Spec.with_jobs jobs
+
+let capture ~spec =
+  let rows = Experiment.fig3 ~spec () in
+  List.concat_map
+    (fun { Experiment.batch_bytes = _; results } ->
+      List.map
+        (fun (r : Run_result.t) ->
+          if r.Run_result.validation_errors > 0 then
+            failwith
+              (Printf.sprintf "Baseline.capture: %s has %d validation errors"
+                 (Telemetry.run_label r) r.Run_result.validation_errors);
+          of_run r)
+        results)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON round trip *)
+
+let entry_to_json e =
+  Obs.Json.Obj
+    [
+      ("key", Obs.Json.String e.key);
+      ("method", Obs.Json.String e.method_id);
+      ("scenario", Obs.Json.String e.scenario);
+      ("batch_bytes", Obs.Json.Int e.batch_bytes);
+      ("per_key_ns", Obs.Json.Float e.per_key_ns);
+      ("raw_ns", Obs.Json.Float e.raw_ns);
+      ("messages", Obs.Json.Int e.messages);
+      ("bytes_sent", Obs.Json.Int e.bytes_sent);
+    ]
+
+let to_json ~spec entries =
+  let sc = Experiment.Spec.scenario spec in
+  let manifest =
+    Obs.Manifest.create ~generator:"bench --save-baseline"
+      (Telemetry.manifest_fields sc ~methods:spec.Experiment.Spec.methods
+         ~batches:spec.Experiment.Spec.batches)
+  in
+  Obs.Json.Obj
+    [
+      ("manifest", Obs.Manifest.to_json manifest);
+      ("entries", Obs.Json.List (List.map entry_to_json entries));
+    ]
+
+let field name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Baseline: missing field %S" name)
+
+let entry_of_json j =
+  {
+    key = Obs.Json.to_string_exn (field "key" j);
+    method_id = Obs.Json.to_string_exn (field "method" j);
+    scenario = Obs.Json.to_string_exn (field "scenario" j);
+    batch_bytes = Obs.Json.to_int_exn (field "batch_bytes" j);
+    per_key_ns = Obs.Json.to_float_exn (field "per_key_ns" j);
+    raw_ns = Obs.Json.to_float_exn (field "raw_ns" j);
+    messages = Obs.Json.to_int_exn (field "messages" j);
+    bytes_sent = Obs.Json.to_int_exn (field "bytes_sent" j);
+  }
+
+let of_json j =
+  List.map entry_of_json (Obs.Json.to_list_exn (field "entries" j))
+
+let load path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_json (Obs.Json.of_string_exn text)
+
+let save ~path ~spec entries =
+  Telemetry.write_json path (to_json ~spec entries)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison *)
+
+(* Exact comparisons throughout: the sweep is deterministic, so the
+   committed floats must reproduce bit-for-bit.  Strings carry the
+   shortest round-tripping form, so expected/actual read identically in
+   the drift report iff they are equal. *)
+let diff ~(expected : entry) ~(actual : entry) =
+  let f name fmt a b acc =
+    if a = b then acc
+    else
+      { drift_key = expected.key; field = name; expected = fmt a; actual = fmt b }
+      :: acc
+  in
+  []
+  |> f "bytes_sent" string_of_int expected.bytes_sent actual.bytes_sent
+  |> f "messages" string_of_int expected.messages actual.messages
+  |> f "raw_ns" Obs.Json.float_to_string expected.raw_ns actual.raw_ns
+  |> f "per_key_ns" Obs.Json.float_to_string expected.per_key_ns
+       actual.per_key_ns
+
+let compare_entries ~expected ~actual =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace tbl e.key e) expected;
+  let drifts =
+    List.concat_map
+      (fun (a : entry) ->
+        match Hashtbl.find_opt tbl a.key with
+        | None ->
+            [
+              {
+                drift_key = a.key;
+                field = "(entry)";
+                expected = "absent from baseline";
+                actual = "present";
+              };
+            ]
+        | Some e ->
+            Hashtbl.remove tbl a.key;
+            diff ~expected:e ~actual:a)
+      actual
+  in
+  let missing =
+    List.filter_map
+      (fun (e : entry) ->
+        if Hashtbl.mem tbl e.key then
+          Some
+            {
+              drift_key = e.key;
+              field = "(entry)";
+              expected = "present";
+              actual = "missing from run";
+            }
+        else None)
+      expected
+  in
+  drifts @ missing
+
+let render_drift = function
+  | [] -> "baseline: OK (no drift)"
+  | drifts ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "baseline: DRIFT in %d field(s)\n"
+           (List.length drifts));
+      List.iter
+        (fun d ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-28s %-12s expected %s, got %s\n" d.drift_key
+               d.field d.expected d.actual))
+        drifts;
+      Buffer.add_string buf
+        "re-capture with --save-baseline if the change is intentional";
+      Buffer.contents buf
+
+let check ~path ~spec =
+  let expected = load path in
+  let actual = capture ~spec in
+  compare_entries ~expected ~actual

@@ -1,0 +1,61 @@
+(** Benchmark baseline gate.
+
+    Captures the simulated cost of a small deterministic sweep (the CI
+    scenario, every method, three batch sizes) into a committed JSON
+    file, and compares later runs against it {e bit-for-bit}: the
+    simulator is deterministic, so any drift in [per_key_ns] / [raw_ns]
+    / message counts — even one ULP — means a cost model changed.
+    Intentional changes are promoted by re-running
+    [bench --save-baseline] and committing the result; the
+    [@bench-baseline] dune alias runs the check in CI. *)
+
+type entry = {
+  key : string;  (** {!Telemetry.run_label} of the run. *)
+  method_id : string;
+  scenario : string;
+  batch_bytes : int;
+  per_key_ns : float;
+  raw_ns : float;
+  messages : int;
+  bytes_sent : int;
+}
+
+type drift = {
+  drift_key : string;
+  field : string;
+  expected : string;
+  actual : string;
+}
+
+val batches : int list
+(** The gated batch grid: 8 KB, 128 KB, 1 MB. *)
+
+val default_spec : jobs:int -> Experiment.Spec.t
+(** The gated sweep: {!Workload.Scenario.ci}, all five methods, over
+    {!batches}. *)
+
+val capture : spec:Experiment.Spec.t -> entry list
+(** Run the sweep and summarize each cell.  Raises [Failure] if any run
+    reports validation errors — a broken run must not become a
+    baseline. *)
+
+val of_run : Run_result.t -> entry
+
+val to_json : spec:Experiment.Spec.t -> entry list -> Obs.Json.t
+(** [{manifest, entries}]; float fields in shortest round-tripping
+    form, so saved baselines compare exactly after reload. *)
+
+val of_json : Obs.Json.t -> entry list
+(** Raises [Failure] on malformed documents. *)
+
+val save : path:string -> spec:Experiment.Spec.t -> entry list -> unit
+val load : string -> entry list
+
+val compare_entries : expected:entry list -> actual:entry list -> drift list
+(** Field-exact comparison; keys present on only one side are reported
+    as [(entry)] drifts.  [[]] iff the baseline holds. *)
+
+val check : path:string -> spec:Experiment.Spec.t -> drift list
+(** [compare_entries ~expected:(load path) ~actual:(capture ~spec)]. *)
+
+val render_drift : drift list -> string

@@ -9,6 +9,9 @@ module Spec = struct
     seed_override : int option;
     metrics_path : string option;
     trace_path : string option;
+    profile : bool;
+    profile_folded : string option;
+    tail_k : int;
   }
 
   let default =
@@ -20,6 +23,9 @@ module Spec = struct
       seed_override = None;
       metrics_path = None;
       trace_path = None;
+      profile = false;
+      profile_folded = None;
+      tail_k = 8;
     }
 
   let with_scenario scenario t = { t with scenario }
@@ -29,6 +35,10 @@ module Spec = struct
   let with_seed seed t = { t with seed_override = Some seed }
   let with_metrics path t = { t with metrics_path = Some path }
   let with_trace path t = { t with trace_path = Some path }
+  let with_profile t = { t with profile = true }
+  let with_profile_folded path t = { t with profile_folded = Some path }
+  let with_tail_k k t = { t with tail_k = max 0 k }
+  let profiling t = t.profile || t.profile_folded <> None
 
   let scenario t =
     match t.seed_override with
@@ -56,6 +66,43 @@ let with_run_trace spec body =
     { r with Run_result.trace = Some tr }
   end
 
+(* Same shape for cost attribution: every charge the run's layers make
+   lands on a per-run profiler, which is then closed against the run's
+   raw simulated time.  Conservation is an invariant, not a best
+   effort — a run whose books do not balance is a bug in a charge hook,
+   so fail loudly rather than ship an unbalanced profile. *)
+let with_run_profile spec body =
+  if not (Spec.profiling spec) then body ()
+  else begin
+    let p = Obs.Profile.create ~tail_k:spec.Spec.tail_k () in
+    let r = Obs.Profile.with_recording p body in
+    Obs.Profile.finalize p ~total_ns:r.Run_result.raw_ns;
+    if not (Obs.Profile.conserved p) then
+      failwith
+        (Printf.sprintf
+           "Experiment: profile not conserved for %s/%s: attributed %.17g \
+            vs total %.17g"
+           (Methods.to_string r.Run_result.method_id)
+           r.Run_result.scenario
+           (Obs.Profile.attributed_ns p)
+           r.Run_result.raw_ns);
+    { r with Run_result.profile = Some p }
+  end
+
+(* Both recorders at once, profile outermost (it needs the finished
+   run's [raw_ns] to close the books). *)
+let with_run_instrumented spec body =
+  with_run_profile spec (fun () -> with_run_trace spec body)
+
+let profile_report runs =
+  String.concat "\n"
+    (List.filter_map
+       (fun (label, r) ->
+         Option.map
+           (fun p -> Obs.Profile.render ~label p)
+           r.Run_result.profile)
+       runs)
+
 let emit_telemetry ~spec ~generator runs =
   let sc = Spec.scenario spec in
   let fields =
@@ -70,7 +117,7 @@ let emit_telemetry ~spec ~generator runs =
               (fun (label, r) -> (label, r.Run_result.metrics))
               runs))
   | None -> ());
-  match spec.Spec.trace_path with
+  (match spec.Spec.trace_path with
   | Some path ->
       let named =
         List.filter_map
@@ -79,6 +126,26 @@ let emit_telemetry ~spec ~generator runs =
           runs
       in
       Telemetry.write_json path (Telemetry.trace_document named)
+  | None -> ());
+  match spec.Spec.profile_folded with
+  | Some path ->
+      let lines =
+        List.concat_map
+          (fun (label, r) ->
+            match r.Run_result.profile with
+            | Some p -> Obs.Profile.folded_lines ~prefix:label p
+            | None -> [])
+          runs
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            lines)
   | None -> ()
 
 let scratch_tree (sc : Workload.Scenario.t) ~keys =
@@ -176,7 +243,7 @@ let fig3 ?spec ?scenario ?methods ?batches () =
       (List.map
          (fun ((batch_bytes, method_id) as key) ->
            Exec.Job.make ~key (fun () ->
-               with_run_trace spec (fun () ->
+               with_run_instrumented spec (fun () ->
                    Runner.run
                      (Workload.Scenario.with_batch sc batch_bytes)
                      ~method_id ~keys ~queries)))
@@ -313,7 +380,7 @@ let table3 ?spec ?scenario () =
       (List.map
          (fun (method_id, _) ->
            Exec.Job.make ~key:method_id (fun () ->
-               with_run_trace spec (fun () ->
+               with_run_instrumented spec (fun () ->
                    Runner.run sc ~method_id ~keys ~queries)))
          predictions)
   in
@@ -391,7 +458,8 @@ let fig4 ?spec ?scenario ?(years = 5) () =
       })
 
 let timeline_traced ?spec ?scenario ?(method_id = Methods.C3) () =
-  let sc = Spec.scenario (resolve ?spec ?scenario ()) in
+  let spec = resolve ?spec ?scenario () in
+  let sc = Spec.scenario spec in
   (* A short slice keeps the chart readable: ~6 batches worth or 32k
      queries, whichever is larger. *)
   let n_queries =
@@ -402,8 +470,9 @@ let timeline_traced ?spec ?scenario ?(method_id = Methods.C3) () =
   let keys, queries = Runner.workload sc in
   let tr = Simcore.Trace.create () in
   let r =
-    Simcore.Trace.with_recording tr (fun () ->
-        Runner.run sc ~method_id ~keys ~queries)
+    with_run_profile spec (fun () ->
+        Simcore.Trace.with_recording tr (fun () ->
+            Runner.run sc ~method_id ~keys ~queries))
   in
   let r = { r with Run_result.trace = Some tr } in
   let rendered =

@@ -33,6 +33,16 @@ module Spec : sig
     trace_path : string option;
         (** When set, runs record event traces and {!emit_telemetry}
             writes a Chrome [trace_event] JSON file here. *)
+    profile : bool;
+        (** When set, runs record cost-attribution profiles
+            ({!Obs.Profile}) for the text report. *)
+    profile_folded : string option;
+        (** When set, runs record profiles and {!emit_telemetry} writes
+            collapsed-stack flamegraph lines here (one file for the
+            whole sweep, each run prefixed by its label). *)
+    tail_k : int;
+        (** Size of each profiled run's tail-query inspector
+            (default 8; 0 disables it). *)
   }
 
   val default : t
@@ -49,6 +59,13 @@ module Spec : sig
   val with_seed : int -> t -> t
   val with_metrics : string -> t -> t
   val with_trace : string -> t -> t
+  val with_profile : t -> t
+  val with_profile_folded : string -> t -> t
+  val with_tail_k : int -> t -> t
+
+  val profiling : t -> bool
+  (** [profile] set or a folded output path given — either implies runs
+      carry a finalized, conservation-checked {!Obs.Profile}. *)
 
   val scenario : t -> Workload.Scenario.t
   (** The scenario with [seed_override] applied — what the drivers
@@ -157,11 +174,17 @@ val emit_telemetry :
   generator:string ->
   (string * Run_result.t) list ->
   unit
-(** Write the spec's [metrics_path] / [trace_path] files (whichever are
-    set) from labelled runs: the metrics file is
+(** Write the spec's [metrics_path] / [trace_path] / [profile_folded]
+    files (whichever are set) from labelled runs: the metrics file is
     [{manifest, runs: [{run, metrics}]}] (see {!Telemetry}), the trace
     file a combined Chrome [trace_event] document over every run that
-    carries a trace. *)
+    carries a trace, the folded file collapsed-stack flamegraph lines
+    over every run that carries a profile (root frame = run label). *)
+
+val profile_report : (string * Run_result.t) list -> string
+(** Concatenated {!Obs.Profile.render} cost trees (with tail-query
+    inspectors) over every labelled run that carries a profile; [""]
+    when none do. *)
 
 (** {2 Shared plumbing} *)
 

@@ -9,13 +9,35 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
   let r_base = Machine.alloc m n in
   Machine.poke_array m q_base queries;
   let lat = Latency.create () in
+  Machine.set_phase m "lookup";
+  let prof = Obs.Profile.current () in
   Engine.spawn eng ~name:"worker" (fun () ->
       for i = 0 to n - 1 do
         let before = Machine.busy_ns m in
+        let stats0 =
+          match prof with
+          | Some _ -> Cachesim.Hierarchy.stats (Machine.hierarchy m)
+          | None -> Cachesim.Hierarchy.zero_stats
+        in
         let q = Machine.read m (q_base + i) in
         let rank = Index.Nary_tree.search tree q in
         Machine.write m (r_base + i) rank;
-        Latency.add lat (Machine.busy_ns m -. before);
+        let d = Machine.busy_ns m -. before in
+        Latency.add lat d;
+        (match prof with
+        | Some p when Obs.Tail.qualifies (Obs.Profile.tail p) d ->
+            let ds =
+              Cachesim.Hierarchy.sub_stats
+                (Cachesim.Hierarchy.stats (Machine.hierarchy m))
+                stats0
+            in
+            let mem =
+              Cachesim.Hierarchy.stats_breakdown
+                sc.Workload.Scenario.params ds
+            in
+            Obs.Tail.note (Obs.Profile.tail p) ~id:i ~ns:d ~batch:1
+              ~breakdown:(("cpu", d -. ds.Cachesim.Hierarchy.cost_ns) :: mem)
+        | Some _ | None -> ());
         (* Flush accumulated cost into the clock at a coarse grain to keep
            the event queue off the per-query hot path. *)
         if i land 8191 = 8191 then Machine.sync m
@@ -52,4 +74,5 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
       Telemetry.snapshot ~eng ~machines:[| m |] ~latency:lat
         ~validation_errors:!errors ();
     trace = None;
+    profile = None;
   }

@@ -11,17 +11,43 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
   let r_base = Machine.alloc m n in
   Machine.poke_array m q_base queries;
   let lat = Latency.create () in
+  Machine.set_phase m "lookup";
+  let prof = Obs.Profile.current () in
   Engine.spawn eng ~name:"worker" (fun () ->
       let off = ref 0 in
       while !off < n do
         let len = min batch_keys (n - !off) in
         let started = Engine.now eng in
+        let busy0 = Machine.busy_ns m in
+        let stats0 =
+          match prof with
+          | Some _ -> Cachesim.Hierarchy.stats (Machine.hierarchy m)
+          | None -> Cachesim.Hierarchy.zero_stats
+        in
         Index.Buffered.process_batch buffered ~queries:(q_base + !off)
           ~results:(r_base + !off) ~n:len;
         Machine.sync m;
         (* Every query of the batch waits for the whole batch: residence
            time = batch processing duration. *)
-        Latency.add_many lat (Engine.now eng -. started) len;
+        let resp = Engine.now eng -. started in
+        Latency.add_many lat resp len;
+        (match prof with
+        | Some p when Obs.Tail.qualifies (Obs.Profile.tail p) resp ->
+            let ds =
+              Cachesim.Hierarchy.sub_stats
+                (Cachesim.Hierarchy.stats (Machine.hierarchy m))
+                stats0
+            in
+            let mem =
+              Cachesim.Hierarchy.stats_breakdown
+                sc.Workload.Scenario.params ds
+            in
+            let cpu =
+              Machine.busy_ns m -. busy0 -. ds.Cachesim.Hierarchy.cost_ns
+            in
+            Obs.Tail.note (Obs.Profile.tail p) ~id:!off ~ns:resp ~batch:len
+              ~breakdown:(("cpu", cpu) :: mem)
+        | Some _ | None -> ());
         off := !off + len
       done);
   Engine.run eng;
@@ -55,4 +81,5 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
       Telemetry.snapshot ~eng ~machines:[| m |] ~latency:lat
         ~validation_errors:!errors ();
     trace = None;
+    profile = None;
   }

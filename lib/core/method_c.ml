@@ -48,6 +48,12 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
   let expected = Array.map (fun q -> Index.Ref_impl.rank keys q) queries in
   let errors = ref 0 in
   let lat = Latency.create () in
+  let prof = Obs.Profile.current () in
+  (* Per-batch slave-side cost breakdowns, recorded by the slaves and
+     joined with replies at the targets (tail-query inspector). *)
+  let batch_profile =
+    match prof with Some _ -> Some (Hashtbl.create 512) | None -> None
+  in
   let read_at = Array.make (max 1 n) 0.0 in
   let next_batch_id = ref 0 in
   let in_flight : (int, int array) Hashtbl.t = Hashtbl.create 256 in
@@ -65,6 +71,7 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
       let len = out_lens.(s) in
       if len > 0 then begin
         Machine.sync m;
+        Machine.set_phase m "batch_xfer";
         Machine.compute m overhead;
         Machine.sync m;
         let payload = Array.init len (fun j -> Machine.peek m (out_bufs.(s) + j)) in
@@ -72,8 +79,9 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
         incr next_batch_id;
         Hashtbl.add in_flight id (Array.sub out_qids.(s) 0 len);
         Netsim.Network.isend net ~src:mi ~dst:(n_masters + s)
-          ~tag:Proto.data_tag ~size:(len * word)
+          ~tag:Proto.data_tag ~phase:"batch_xfer" ~size:(len * word)
           (Proto.Data (id, payload));
+        Machine.set_phase m "dispatch";
         out_lens.(s) <- 0
       end
     in
@@ -83,6 +91,7 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
        the paper's Figure 3 stays flat up to 4 MB batches with only ~20%
        slave idle time, which rules out any flush barrier. *)
     let cap = max 1 (batch_keys / n_slaves) in
+    Machine.set_phase m "dispatch";
     Engine.spawn eng ~name:(Printf.sprintf "master%d" mi) (fun () ->
         for i = 0 to hi - lo - 1 do
           let q = Machine.read m (q_base + i) in
@@ -100,7 +109,7 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
         Machine.sync m;
         for s = 0 to n_slaves - 1 do
           Netsim.Network.isend net ~src:mi ~dst:(n_masters + s)
-            ~tag:Proto.term_tag ~size:0 Proto.Term
+            ~tag:Proto.term_tag ~phase:"control" ~size:0 Proto.Term
         done)
   in
   for mi = 0 to n_masters - 1 do
@@ -111,7 +120,7 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
   for s = 0 to n_slaves - 1 do
     Slave_node.spawn eng net slaves.(s) ~node:(n_masters + s)
       ~terms_expected:n_masters ~batch_keys ~index:slave_idx.(s)
-      ~reply_dst:(fun ~src -> src) ~overhead_ns:overhead
+      ~reply_dst:(fun ~src -> src) ~overhead_ns:overhead ?batch_profile ()
   done;
   (* --- One target per master node: collects and validates the results
      of that master's chunk as they arrive.  The paper sends results "to
@@ -138,7 +147,28 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
                       (fun j rank ->
                         if Partition.base part s + rank <> expected.(qids.(j))
                         then incr errors;
-                        Latency.add lat (Engine.now eng -. read_at.(qids.(j))))
+                        let resp = Engine.now eng -. read_at.(qids.(j)) in
+                        Latency.add lat resp;
+                        match prof with
+                        | Some p
+                          when Obs.Tail.qualifies (Obs.Profile.tail p) resp ->
+                            let bd =
+                              match batch_profile with
+                              | Some tbl ->
+                                  Option.value ~default:[]
+                                    (Hashtbl.find_opt tbl id)
+                              | None -> []
+                            in
+                            let slave_ns =
+                              List.fold_left
+                                (fun acc (_, x) -> acc +. x)
+                                0.0 bd
+                            in
+                            Obs.Tail.note (Obs.Profile.tail p) ~id:qids.(j)
+                              ~ns:resp ~batch:(Array.length ranks)
+                              ~breakdown:
+                                (("queue_and_net", resp -. slave_ns) :: bd)
+                        | Some _ | None -> ())
                       ranks);
               remaining := !remaining - Array.length ranks
           | Proto.Data _ | Proto.Term -> failwith "target received a non-reply"
@@ -187,4 +217,5 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
       Telemetry.snapshot ~eng ~net ~machines:(Array.append masters slaves)
         ~latency:lat ~validation_errors:!errors ();
     trace = None;
+    profile = None;
   }

@@ -46,6 +46,10 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
   let expected = Array.map (fun q -> Index.Ref_impl.rank keys q) queries in
   let errors = ref 0 in
   let lat = Latency.create () in
+  let prof = Obs.Profile.current () in
+  let batch_profile =
+    match prof with Some _ -> Some (Hashtbl.create 512) | None -> None
+  in
   let read_at = Array.make (max 1 n) 0.0 in
   let next_batch_id = ref 0 in
   let in_flight : (int, int array) Hashtbl.t = Hashtbl.create 256 in
@@ -70,6 +74,7 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
     let len = out_lens.(r) in
     if len > 0 then begin
       Machine.sync master;
+      Machine.set_phase master "batch_xfer";
       Machine.compute master overhead;
       Machine.sync master;
       let payload =
@@ -77,12 +82,14 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
       in
       let id = fresh_batch (Array.sub out_qids.(r) 0 len) in
       Netsim.Network.isend net ~src:0 ~dst:(1 + r) ~tag:Proto.data_tag
-        ~size:(len * word)
+        ~phase:"batch_xfer" ~size:(len * word)
         (Proto.Data (id, payload));
+      Machine.set_phase master "dispatch";
       out_lens.(r) <- 0
     end
   in
   let master_cap = max 1 (batch_keys / routers) in
+  Machine.set_phase master "dispatch";
   Engine.spawn eng ~name:"master" (fun () ->
       for i = 0 to n - 1 do
         let q = Machine.read master (q_base + i) in
@@ -100,7 +107,7 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
       Machine.sync master;
       for r = 0 to routers - 1 do
         Netsim.Network.isend net ~src:0 ~dst:(1 + r) ~tag:Proto.term_tag
-          ~size:0 Proto.Term
+          ~phase:"control" ~size:0 Proto.Term
       done);
   (* --- Routers: re-batch incoming query batches per slave of the
      group, using the group's own delimiter slice. *)
@@ -121,6 +128,7 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
       let len = out_lens.(ls) in
       if len > 0 then begin
         Machine.sync m;
+        Machine.set_phase m "batch_xfer";
         Machine.compute m overhead;
         Machine.sync m;
         let payload =
@@ -128,12 +136,14 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
         in
         let id = fresh_batch (Array.sub out_qids.(ls) 0 len) in
         Netsim.Network.isend net ~src:(1 + r) ~dst:(slave_node (g_lo + ls))
-          ~tag:Proto.data_tag ~size:(len * word)
+          ~tag:Proto.data_tag ~phase:"batch_xfer" ~size:(len * word)
           (Proto.Data (id, payload));
+        Machine.set_phase m "route";
         out_lens.(ls) <- 0
       end
     in
     let cap = max 1 (batch_keys / n_slaves) in
+    Machine.set_phase m "route";
     Engine.spawn eng ~name:(Printf.sprintf "router%d" r) (fun () ->
         let rx_sel = ref 0 in
         let serving = ref true in
@@ -147,13 +157,15 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
               Machine.sync m;
               for ls = 0 to width - 1 do
                 Netsim.Network.isend net ~src:(1 + r)
-                  ~dst:(slave_node (g_lo + ls)) ~tag:Proto.term_tag ~size:0
-                  Proto.Term
+                  ~dst:(slave_node (g_lo + ls)) ~tag:Proto.term_tag
+                  ~phase:"control" ~size:0 Proto.Term
               done;
               serving := false
           | Proto.Reply _ -> failwith "router received a reply"
           | Proto.Data (id, ks) ->
+              Machine.set_phase m "batch_xfer";
               Machine.compute m overhead;
+              Machine.set_phase m "route";
               let qids =
                 match Hashtbl.find_opt in_flight id with
                 | Some q ->
@@ -184,7 +196,7 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
   for s = 0 to n_slaves - 1 do
     Slave_node.spawn eng net slaves.(s) ~node:(slave_node s)
       ~terms_expected:1 ~batch_keys ~index:slave_idx.(s)
-      ~reply_dst:(fun ~src:_ -> 0) ~overhead_ns:overhead
+      ~reply_dst:(fun ~src:_ -> 0) ~overhead_ns:overhead ?batch_profile ()
   done;
   (* --- Target on node 0. *)
   Engine.spawn eng ~name:"target" (fun () ->
@@ -204,7 +216,26 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
                     (fun j rank ->
                       if Partition.base part s + rank <> expected.(qids.(j))
                       then incr errors;
-                      Latency.add lat (Engine.now eng -. read_at.(qids.(j))))
+                      let resp = Engine.now eng -. read_at.(qids.(j)) in
+                      Latency.add lat resp;
+                      match prof with
+                      | Some p
+                        when Obs.Tail.qualifies (Obs.Profile.tail p) resp ->
+                          let bd =
+                            match batch_profile with
+                            | Some tbl ->
+                                Option.value ~default:[]
+                                  (Hashtbl.find_opt tbl id)
+                            | None -> []
+                          in
+                          let slave_ns =
+                            List.fold_left (fun acc (_, x) -> acc +. x) 0.0 bd
+                          in
+                          Obs.Tail.note (Obs.Profile.tail p) ~id:qids.(j)
+                            ~ns:resp ~batch:(Array.length ranks)
+                            ~breakdown:
+                              (("queue_and_net", resp -. slave_ns) :: bd)
+                      | Some _ | None -> ())
                     ranks);
             remaining := !remaining - Array.length ranks
         | Proto.Data _ | Proto.Term -> failwith "target received a non-reply"
@@ -254,4 +285,5 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ~variant ~keys ~queries () =
           (Array.append [| master |] (Array.append router_machines slaves))
         ~latency:lat ~validation_errors:!errors ();
     trace = None;
+    profile = None;
   }

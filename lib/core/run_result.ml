@@ -18,6 +18,7 @@ type t = {
   p95_response_ns : float;
   metrics : Obs.Metrics.Snapshot.t;
   trace : Simcore.Trace.t option;
+  profile : Obs.Profile.t option;
 }
 
 let per_key_ns t = t.per_key_ns

@@ -41,6 +41,12 @@ type t = {
   trace : Simcore.Trace.t option;
       (** Event trace of the run, when the caller requested tracing
           (e.g. [--trace-json]); [None] otherwise. *)
+  profile : Obs.Profile.t option;
+      (** Cost-attribution profile of the run, when the caller
+          requested profiling (e.g. [--profile], [--profile-folded]);
+          finalized against [raw_ns], so
+          [Obs.Profile.conserved p = true].  Carries the tail-query
+          inspector.  [None] otherwise. *)
 }
 
 val per_key_ns : t -> float

@@ -25,8 +25,9 @@ let overflow_flushes = function
   | S_csb _ | S_array _ -> 0
 
 let spawn eng net m ~node ~terms_expected ~batch_keys ~index ~reply_dst
-    ~overhead_ns =
-  let word = (Machine.params m).Cachesim.Mem_params.word_bytes in
+    ~overhead_ns ?batch_profile () =
+  let params = Machine.params m in
+  let word = params.Cachesim.Mem_params.word_bytes in
   let rx = [| Machine.alloc m batch_keys; Machine.alloc m batch_keys |] in
   let reply = Machine.alloc m batch_keys in
   Engine.spawn eng ~name:(Printf.sprintf "slave@%d" node) (fun () ->
@@ -38,10 +39,18 @@ let spawn eng net m ~node ~terms_expected ~batch_keys ~index ~reply_dst
         | Proto.Term -> incr terms
         | Proto.Reply _ -> failwith "slave received a reply"
         | Proto.Data (id, ks) ->
+            let busy0 = Machine.busy_ns m in
+            let stats0 =
+              match batch_profile with
+              | Some _ -> Cachesim.Hierarchy.stats (Machine.hierarchy m)
+              | None -> Cachesim.Hierarchy.zero_stats
+            in
+            Machine.set_phase m "batch_xfer";
             Machine.compute m overhead_ns;
             let cnt = Array.length ks in
             let buf = rx.(!rx_sel) in
             Machine.dma_write m buf ks;
+            Machine.set_phase m "lookup";
             (match index with
             | S_array sa ->
                 for j = 0 to cnt - 1 do
@@ -56,12 +65,30 @@ let spawn eng net m ~node ~terms_expected ~batch_keys ~index ~reply_dst
             | S_buffered b ->
                 Index.Buffered.process_batch b ~queries:buf ~results:reply
                   ~n:cnt);
+            Machine.set_phase m "batch_xfer";
             Machine.compute m overhead_ns;
             Machine.sync m;
+            (match batch_profile with
+            | Some tbl ->
+                (* The batch's cost decomposition at this slave, for the
+                   tail-query inspector: the target joins it with each
+                   reply as it validates. *)
+                let ds =
+                  Cachesim.Hierarchy.sub_stats
+                    (Cachesim.Hierarchy.stats (Machine.hierarchy m))
+                    stats0
+                in
+                let cpu =
+                  Machine.busy_ns m -. busy0 -. ds.Cachesim.Hierarchy.cost_ns
+                in
+                Hashtbl.replace tbl id
+                  (("cpu", cpu)
+                  :: Cachesim.Hierarchy.stats_breakdown params ds)
+            | None -> ());
             let ranks = Array.init cnt (fun j -> Machine.peek m (reply + j)) in
             Netsim.Network.isend net ~src:node
               ~dst:(reply_dst ~src:env.Netsim.Network.src)
-              ~tag:Proto.reply_tag ~size:(cnt * word)
+              ~tag:Proto.reply_tag ~phase:"reply" ~size:(cnt * word)
               (Proto.Reply (id, ranks));
             rx_sel := 1 - !rx_sel
       done)

@@ -29,6 +29,8 @@ val spawn :
   index:index ->
   reply_dst:(src:int -> int) ->
   overhead_ns:float ->
+  ?batch_profile:(int, (string * float) list) Hashtbl.t ->
+  unit ->
   unit
 (** Start the serving process on [node]: receive [Data] batches from any
     upstream dispatcher in arrival order, DMA them into a rotating pair
@@ -36,4 +38,10 @@ val spawn :
     local ranks as a [Reply] (same batch id) to [reply_dst ~src] where
     [src] is the sender of the data batch.  The process exits after
     [terms_expected] [Term] messages.  Each message charges
-    [overhead_ns] of CPU on receive and on reply. *)
+    [overhead_ns] of CPU on receive and on reply.
+
+    Cost attribution: message handling is charged under phase
+    [batch_xfer], index lookups under [lookup], replies on the wire
+    under [reply].  When [batch_profile] is given, each served batch's
+    per-component cost breakdown (including ["cpu"]) is stored in it
+    keyed by batch id, for the caller's tail-query inspector. *)

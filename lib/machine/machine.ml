@@ -77,8 +77,15 @@ let write t a v =
     (Cachesim.Hierarchy.access t.hier ~addr:(a * t.p.word_bytes) ~write:true);
   t.mem.(a) <- v
 
+let set_phase t phase = Cachesim.Hierarchy.set_phase t.hier phase
+let phase t = Cachesim.Hierarchy.phase t.hier
+
 let compute t ns =
   if ns < 0.0 then invalid_arg "Machine.compute: negative cost";
+  (match Obs.Profile.current () with
+  | Some p ->
+      Obs.Profile.charge p ~path:[ Cachesim.Hierarchy.phase t.hier; "cpu" ] ns
+  | None -> ());
   charge t ns
 
 let sync t =

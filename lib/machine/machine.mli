@@ -43,7 +43,18 @@ val write : t -> int -> int -> unit
 
 val compute : t -> float -> unit
 (** [compute m ns] charges [ns] of pure CPU time (key comparisons,
-    dispatch logic). *)
+    dispatch logic).  Attributed to the ambient {!Obs.Profile} (if any)
+    as [(phase, "cpu")]. *)
+
+val set_phase : t -> string -> unit
+(** Set the cost-attribution phase for this node's subsequent memory
+    and CPU charges (forwards to {!Cachesim.Hierarchy.set_phase}).
+    Phase is per-machine state, not ambient: each machine is driven by
+    exactly one simulated process and all charges are synchronous, so a
+    process suspending inside {!sync} cannot corrupt another node's
+    phase. *)
+
+val phase : t -> string
 
 val sync : t -> unit
 (** Advance the simulation clock by the accumulated local cost.  Must be

@@ -48,13 +48,24 @@ let check_node t i what =
   if i < 0 || i >= t.n then
     invalid_arg (Printf.sprintf "Network.%s: node %d outside [0,%d)" what i t.n)
 
-let isend t ~src ~dst ?(tag = 0) ~size payload =
+let isend t ~src ~dst ?(tag = 0) ?(phase = "net") ~size payload =
   check_node t src "isend";
   check_node t dst "isend";
   if size < 0 then invalid_arg "Network.isend: negative size";
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
   t.in_flight <- t.in_flight + 1;
+  (* Attribute the message's latency/bandwidth split at send time (the
+     cut-through model computes both up front); per-message host
+     overhead is the sender's CPU and is charged by the caller via
+     Machine.compute under its own phase. *)
+  (match Obs.Profile.current () with
+  | Some p ->
+      Obs.Profile.charge p ~path:[ phase; "net_latency" ]
+        t.prof.Profile.latency_ns;
+      Obs.Profile.charge p ~path:[ phase; "net_bandwidth" ]
+        (Profile.transfer_ns t.prof size)
+  | None -> ());
   (match Trace.current () with
   | Some tr ->
       let now = Engine.now t.eng in

@@ -33,9 +33,15 @@ val engine : 'a t -> Simcore.Engine.t
 val profile : 'a t -> Profile.t
 val nodes : 'a t -> int
 
-val isend : 'a t -> src:int -> dst:int -> ?tag:int -> size:int -> 'a -> unit
+val isend :
+  'a t -> src:int -> dst:int -> ?tag:int -> ?phase:string -> size:int -> 'a -> unit
 (** Asynchronous send; must be called from inside a simulated process or
-    event.  [size] is the message payload size in bytes. *)
+    event.  [size] is the message payload size in bytes.  When an
+    {!Obs.Profile} is ambiently recording, the message's wire latency
+    and bandwidth (transfer) time are charged to it under
+    [(phase, "net_latency")] / [(phase, "net_bandwidth")]; [phase]
+    defaults to ["net"].  Per-message host overhead is the sender's CPU
+    and is the caller's to charge ({!Machine.compute}). *)
 
 val recv : 'a t -> dst:int -> 'a envelope
 (** Blocking receive of the next message addressed to [dst], in delivery

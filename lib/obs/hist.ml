@@ -127,3 +127,5 @@ let quantile s q =
     in
     go 0 s.buckets
   end
+
+let quantiles s = (quantile s 0.5, quantile s 0.95, quantile s 0.99)

@@ -53,6 +53,10 @@ val quantile : snapshot -> float -> float
     the [q]-th observation — an estimate no finer than the bucket width.
     [0.] when empty. *)
 
+val quantiles : snapshot -> float * float * float
+(** [(p50, p95, p99)] via {!quantile} — the trio the text rendering
+    shows.  All [0.] when empty. *)
+
 val bucket_of : float -> int
 (** Bucket exponent for a value: [e] with [v] in [(2^(e-1), 2^e]];
     [min_int] for [v <= 0]. *)

@@ -11,9 +11,16 @@ type t =
 (* Printing *)
 
 let float_to_string f =
-  if Float.is_nan f then "nan"
-  else if f = Float.infinity then "1e999"
-  else if f = Float.neg_infinity then "-1e999"
+  if not (Float.is_finite f) then
+    (* JSON has no lexical form for these; emitting "nan"/"1e999" would
+       produce a file other parsers reject (or read back as infinity),
+       silently breaking the round-trip contract.  Telemetry producers
+       guard empty histograms etc. with Null instead. *)
+    invalid_arg
+      (Printf.sprintf "Obs.Json: cannot print non-finite float (%s)"
+         (if Float.is_nan f then "nan"
+          else if f > 0.0 then "infinity"
+          else "-infinity"))
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
   else

@@ -44,6 +44,7 @@ val to_string_exn : t -> string
 
 val float_to_string : float -> string
 (** The printer's float formatting: shortest [%.Ng] form ([N] in 12, 15,
-    17) that parses back to the same double; special values print as
-    [null] does not apply here — infinities and NaN are the caller's
-    responsibility and print as ["1e999"]/["-1e999"]/["nan"]. *)
+    17) that parses back to the same double.  NaN and the infinities
+    have no JSON lexical form and raise [Invalid_argument] (as does
+    {!to_string} on a document containing one): producers must encode
+    missing values as [Null] instead. *)

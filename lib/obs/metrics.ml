@@ -243,9 +243,9 @@ module Snapshot = struct
         else Printf.sprintf "%.3f" c
     | Gauge g -> Printf.sprintf "%g" g
     | Histogram h ->
-        Printf.sprintf "count %d, mean %.2f, p95<=%g, max %g" h.Hist.count
-          (Hist.mean h)
-          (Hist.quantile h 0.95)
+        let p50, p95, p99 = Hist.quantiles h in
+        Printf.sprintf "count %d, mean %.2f, p50<=%g, p95<=%g, p99<=%g, max %g"
+          h.Hist.count (Hist.mean h) p50 p95 p99
           (if h.Hist.count = 0 then 0.0 else h.Hist.max_v)
 
   let render t =

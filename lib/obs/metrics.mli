@@ -72,7 +72,7 @@ module Snapshot : sig
 
   val render : t -> string
   (** Aligned [name{k=v}  value] text, one metric per line; histograms
-      render as [count/mean/p95/max]. *)
+      render as [count/mean/p50/p95/p99/max]. *)
 end
 
 val snapshot : t -> Snapshot.t

@@ -65,6 +65,39 @@ let test_hist_algebra () =
   check_int "add_snapshot count" 3 s.Obs.Hist.count;
   check_float "add_snapshot sum" 12.0 s.Obs.Hist.sum
 
+let test_hist_quantiles () =
+  let h = Obs.Hist.create () in
+  (* 100 samples 1..100; power-of-two buckets, so each quantile reports
+     the upper bound of the bucket holding that rank. *)
+  for i = 1 to 100 do
+    Obs.Hist.observe h (float_of_int i)
+  done;
+  let s = Obs.Hist.snapshot h in
+  let p50, p95, p99 = Obs.Hist.quantiles s in
+  check_float "p50 matches quantile" (Obs.Hist.quantile s 0.5) p50;
+  check_float "p95 matches quantile" (Obs.Hist.quantile s 0.95) p95;
+  check_float "p99 matches quantile" (Obs.Hist.quantile s 0.99) p99;
+  (* Rank 50 lands in (32, 64]; ranks 95 and 99 land in (64, 128],
+     whose upper bound clamps to the exact observed max. *)
+  check_float "p50 bucket" 64.0 p50;
+  check_float "p95 bucket" 100.0 p95;
+  check_float "p99 bucket" 100.0 p99;
+  check_bool "monotone" true (p50 <= p95 && p95 <= p99);
+  (* The trio is what the text rendering prints. *)
+  let reg = Obs.Metrics.create () in
+  for i = 1 to 100 do
+    Obs.Metrics.observe reg "lat" (float_of_int i)
+  done;
+  let out = Obs.Metrics.Snapshot.render (Obs.Metrics.snapshot reg) in
+  let contains sub =
+    let n = String.length sub and m = String.length out in
+    let rec go i = i + n <= m && (String.sub out i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "render shows p50" true (contains "p50<=64");
+  check_bool "render shows p95" true (contains "p95<=100");
+  check_bool "render shows p99" true (contains "p99<=100")
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry *)
 
@@ -182,6 +215,70 @@ let test_metrics_json_roundtrip () =
   match Obs.Metrics.Snapshot.of_json (Obs.Metrics.Snapshot.to_json s) with
   | Error e -> Alcotest.failf "of_json failed: %s" e
   | Ok s' -> check_bool "snapshot JSON round-trip" true (s = s')
+
+(* Random nested documents: whatever the printer emits, the parser must
+   read back structurally equal — in both pretty and compact form. *)
+let json_gen : Obs.Json.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let finite_float =
+    map (fun f -> if Float.is_finite f then f else 0.0) float
+  in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) int;
+        map (fun f -> Obs.Json.Float f) finite_float;
+        map (fun s -> Obs.Json.String s) string_printable;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               ( 1,
+                 map
+                   (fun l -> Obs.Json.List l)
+                   (list_size (int_bound 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs -> Obs.Json.Obj kvs)
+                   (list_size (int_bound 4)
+                      (pair string_printable (self (n / 2)))) );
+             ])
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"printer/parser round-trip on random docs"
+    ~count:300
+    (QCheck.make ~print:(fun j -> Obs.Json.to_string j) json_gen)
+    (fun j ->
+      Obs.Json.of_string_exn (Obs.Json.to_string j) = j
+      && Obs.Json.of_string_exn (Obs.Json.to_string ~pretty:false j) = j)
+
+let test_json_nonfinite_rejected () =
+  let rejects f =
+    try
+      ignore (Obs.Json.float_to_string f);
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "nan rejected" true (rejects Float.nan);
+  check_bool "+inf rejected" true (rejects Float.infinity);
+  check_bool "-inf rejected" true (rejects Float.neg_infinity);
+  check_bool "finite accepted" true (not (rejects 1.5));
+  (* The document printer refuses too, anywhere in the tree. *)
+  check_bool "to_string rejects embedded nan" true
+    (try
+       ignore
+         (Obs.Json.to_string
+            (Obs.Json.Obj
+               [ ("ok", Obs.Json.Int 1); ("bad", Obs.Json.Float Float.nan) ]));
+       false
+     with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Manifest *)
@@ -469,6 +566,8 @@ let () =
           Alcotest.test_case "bucket boundaries" `Quick test_hist_buckets;
           Alcotest.test_case "exact stats" `Quick test_hist_stats;
           Alcotest.test_case "merge/diff algebra" `Quick test_hist_algebra;
+          Alcotest.test_case "p50/p95/p99 quantiles" `Quick
+            test_hist_quantiles;
         ] );
       ( "metrics",
         [
@@ -485,6 +584,9 @@ let () =
           Alcotest.test_case "rejects malformed" `Quick test_json_errors;
           Alcotest.test_case "snapshot round-trip" `Quick
             test_metrics_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          Alcotest.test_case "rejects non-finite floats" `Quick
+            test_json_nonfinite_rejected;
           Alcotest.test_case "manifest" `Quick test_manifest;
         ] );
       ( "trace",
