@@ -233,7 +233,7 @@ let print_results results =
 (* ------------------------------------------------------------------ *)
 (* Paper-shaped output at bench scale *)
 
-let print_paper_shapes ~jobs ~metrics_path ~trace_path =
+let print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path =
   let keys, _ = Lazy.force workload in
   ignore keys;
   print_endline "\n===== paper artefacts at bench scale =====\n";
@@ -260,6 +260,7 @@ let print_paper_shapes ~jobs ~metrics_path ~trace_path =
     |> (match trace_path with
        | Some p -> Dispatch.Experiment.Spec.with_trace p
        | None -> Fun.id)
+    |> Dispatch.Experiment.Spec.with_faults faults
   in
   let rows = Dispatch.Experiment.fig3 ~spec () in
   print_string (Dispatch.Experiment.render_fig3 ~scenario:sweep_sc rows);
@@ -290,12 +291,12 @@ let print_paper_shapes ~jobs ~metrics_path ~trace_path =
     (Dispatch.Experiment.render_fig4
        (Dispatch.Experiment.fig4 ~scenario:bench_scenario ~years:5 ()))
 
-let run_benchmarks ~jobs ~metrics_path ~trace_path =
+let run_benchmarks ~jobs ~faults ~metrics_path ~trace_path =
   print_endline "===== microbenchmarks (bechamel) =====";
   print_results (benchmark (micro_tests ~jobs));
   print_endline "\n===== paper-artefact benchmarks (bechamel) =====";
   print_results (benchmark (artefact_tests ()));
-  print_paper_shapes ~jobs ~metrics_path ~trace_path
+  print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path
 
 (* ------------------------------------------------------------------ *)
 (* Entry point *)
@@ -324,13 +325,15 @@ let check_baseline_arg =
     & opt (some string) None
     & info [ "check-baseline" ] ~docv:"FILE" ~doc)
 
-let main jobs metrics_path trace_path save check =
+let main jobs faults metrics_path trace_path save check =
   match (save, check) with
   | Some _, Some _ ->
       prerr_endline
         "bench: --save-baseline and --check-baseline are mutually exclusive";
       2
   | Some path, None ->
+      (* The baseline covers the zero-fault path only (see BENCH_003.json
+         note in EXPERIMENTS.md); --faults does not alter the gate. *)
       let spec = Dispatch.Baseline.default_spec ~jobs in
       Dispatch.Baseline.save ~path ~spec (Dispatch.Baseline.capture ~spec);
       Printf.printf "wrote %s\n" path;
@@ -341,7 +344,7 @@ let main jobs metrics_path trace_path save check =
       print_endline (Dispatch.Baseline.render_drift drifts);
       if drifts = [] then 0 else 1
   | None, None ->
-      run_benchmarks ~jobs ~metrics_path ~trace_path;
+      run_benchmarks ~jobs ~faults ~metrics_path ~trace_path;
       0
 
 let () =
@@ -354,7 +357,7 @@ let () =
   in
   let term =
     Term.(
-      const main $ Cli.jobs_arg $ Cli.metrics_arg $ Cli.trace_json_arg
-      $ save_baseline_arg $ check_baseline_arg)
+      const main $ Cli.jobs_arg $ Cli.faults_arg $ Cli.metrics_arg
+      $ Cli.trace_json_arg $ save_baseline_arg $ check_baseline_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

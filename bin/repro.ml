@@ -36,6 +36,24 @@ let check_validation runs =
 let labelled runs =
   List.map (fun r -> (Dispatch.Telemetry.run_label r, r)) runs
 
+(* One line per degraded run: the table renderers keep the paper's
+   column layout, so failover accounting goes to its own summary. *)
+let print_degraded runs =
+  List.iter
+    (fun (label, r) ->
+      let d = r.Dispatch.Run_result.degraded in
+      if Dispatch.Run_result.is_degraded d then
+        say
+          "degraded %s: retries=%d redispatches=%d fallback=%d lost=%d \
+           dead=[%s] completeness=%.6f"
+          label d.Dispatch.Run_result.retries d.Dispatch.Run_result.redispatches
+          d.Dispatch.Run_result.fallback_lookups
+          d.Dispatch.Run_result.lost_queries
+          (String.concat ","
+             (List.map string_of_int d.Dispatch.Run_result.dead_nodes))
+          (Dispatch.Run_result.completeness r))
+    runs
+
 (* The cost trees go to stdout with the artefact when --profile was
    given; --profile-folded output is handled by [emit_telemetry]. *)
 let print_profiles spec runs =
@@ -64,6 +82,7 @@ let run_table3 spec =
   let runs =
     labelled (List.map (fun r -> r.Dispatch.Experiment.run) rows)
   in
+  print_degraded runs;
   print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro table3" runs;
   check_validation runs
@@ -76,13 +95,25 @@ let run_fig3 spec csv =
   (match csv with
   | None -> ()
   | Some path ->
+      (* Degraded columns appear only under --faults, so fault-free CSV
+         output stays byte-identical to pre-fault builds. *)
+      let faulted = Spec.faulted spec in
+      let cells r =
+        if faulted then
+          Dispatch.Run_result.to_cells r @ Dispatch.Run_result.degraded_cells r
+        else Dispatch.Run_result.to_cells r
+      in
+      let header =
+        if faulted then
+          Dispatch.Run_result.header @ Dispatch.Run_result.degraded_header
+        else Dispatch.Run_result.header
+      in
       let flat =
         List.concat_map
-          (fun { Dispatch.Experiment.results; _ } ->
-            List.map Dispatch.Run_result.to_cells results)
+          (fun { Dispatch.Experiment.results; _ } -> List.map cells results)
           rows
       in
-      Report.Csv.save ~path ~header:Dispatch.Run_result.header flat;
+      Report.Csv.save ~path ~header flat;
       say "wrote %s" path);
   let runs =
     labelled
@@ -90,6 +121,7 @@ let run_fig3 spec csv =
          (fun { Dispatch.Experiment.results; _ } -> results)
          rows)
   in
+  print_degraded runs;
   print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro fig3" runs;
   check_validation runs
@@ -136,6 +168,7 @@ let run_timeline spec =
   let rendered, r = Dispatch.Experiment.timeline_traced ~spec ~method_id () in
   print_string rendered;
   let runs = labelled [ r ] in
+  print_degraded runs;
   print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro timeline" runs;
   check_validation runs

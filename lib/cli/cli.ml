@@ -124,12 +124,33 @@ let tail_arg =
   in
   Arg.(value & opt int 8 & info [ "tail" ] ~docv:"K" ~doc)
 
+let faults_arg =
+  let doc =
+    "Fault-injection spec for Method C family runs: 'none' (default) or \
+     '+'-joined clauses drop:p=P | dup:p=P | delay:p=P,ns=NS | \
+     degrade:node=N,factor=F | crash:node=N,at=NS | slow:node=N,factor=F \
+     | failover:timeout=NS,retries=K,fallback=local|none | seed=N.  \
+     E.g. 'crash:node=3,at=2e6+failover:retries=3'.  Degraded runs are \
+     deterministic: byte-identical at any --jobs value."
+  in
+  let spec_conv =
+    Arg.conv
+      ( (fun s ->
+          match Fault.Spec.parse s with
+          | Ok spec -> Ok spec
+          | Error msg -> Error (`Msg msg)),
+        fun fmt spec -> Format.pp_print_string fmt (Fault.Spec.to_string spec)
+      )
+  in
+  Arg.(
+    value & opt spec_conv Fault.Spec.none & info [ "faults" ] ~docv:"SPEC" ~doc)
+
 (* Apply an optional override; absent flags leave the value untouched. *)
 let override v f x = match v with Some v -> f v x | None -> x
 
 let spec_term =
   let build scale queries keys nodes masters batch network seed jobs methods
-      metrics trace_json profile profile_folded tail_k =
+      metrics trace_json profile profile_folded tail_k faults =
     let base =
       match String.lowercase_ascii scale with
       | "paper" -> Ok Workload.Scenario.paper
@@ -166,11 +187,12 @@ let spec_term =
           |> override trace_json Spec.with_trace
           |> (if profile then Spec.with_profile else Fun.id)
           |> override profile_folded Spec.with_profile_folded
-          |> Spec.with_tail_k tail_k)
+          |> Spec.with_tail_k tail_k
+          |> Spec.with_faults faults)
   in
   Term.(
     term_result ~usage:true
       (const build $ scale_arg $ queries_arg $ keys_arg $ nodes_arg
      $ masters_arg $ batch_arg $ network_arg $ seed_arg $ jobs_arg
      $ methods_arg $ metrics_arg $ trace_json_arg $ profile_arg
-     $ profile_folded_arg $ tail_arg))
+     $ profile_folded_arg $ tail_arg $ faults_arg))

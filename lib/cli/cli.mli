@@ -12,8 +12,9 @@ open Cmdliner
 val spec_term : Dispatch.Experiment.Spec.t Term.t
 (** [--scale], workload overrides ([--queries], [--keys], [--nodes],
     [--masters], [--batch], [--network], [--seed]), [--jobs],
-    [--methods], telemetry outputs ([--metrics], [--trace-json]) and
-    profiling ([--profile], [--profile-folded], [--tail]). *)
+    [--methods], telemetry outputs ([--metrics], [--trace-json]),
+    profiling ([--profile], [--profile-folded], [--tail]) and fault
+    injection ([--faults], see {!Fault.Spec.parse} for the grammar). *)
 
 (** {2 Individual arguments} *)
 
@@ -33,3 +34,4 @@ val trace_json_arg : string option Term.t
 val profile_arg : bool Term.t
 val profile_folded_arg : string option Term.t
 val tail_arg : int Term.t
+val faults_arg : Fault.Spec.t Term.t

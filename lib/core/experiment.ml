@@ -12,6 +12,7 @@ module Spec = struct
     profile : bool;
     profile_folded : string option;
     tail_k : int;
+    faults : Fault.Spec.t;
   }
 
   let default =
@@ -26,6 +27,7 @@ module Spec = struct
       profile = false;
       profile_folded = None;
       tail_k = 8;
+      faults = Fault.Spec.none;
     }
 
   let with_scenario scenario t = { t with scenario }
@@ -38,7 +40,9 @@ module Spec = struct
   let with_profile t = { t with profile = true }
   let with_profile_folded path t = { t with profile_folded = Some path }
   let with_tail_k k t = { t with tail_k = max 0 k }
+  let with_faults faults t = { t with faults }
   let profiling t = t.profile || t.profile_folded <> None
+  let faulted t = not (Fault.Spec.is_none t.faults)
 
   let scenario t =
     match t.seed_override with
@@ -106,8 +110,8 @@ let profile_report runs =
 let emit_telemetry ~spec ~generator runs =
   let sc = Spec.scenario spec in
   let fields =
-    Telemetry.manifest_fields sc ~methods:spec.Spec.methods
-      ~batches:spec.Spec.batches
+    Telemetry.manifest_fields ~faults:spec.Spec.faults sc
+      ~methods:spec.Spec.methods ~batches:spec.Spec.batches
   in
   (match spec.Spec.metrics_path with
   | Some path ->
@@ -244,7 +248,7 @@ let fig3 ?spec ?scenario ?methods ?batches () =
          (fun ((batch_bytes, method_id) as key) ->
            Exec.Job.make ~key (fun () ->
                with_run_instrumented spec (fun () ->
-                   Runner.run
+                   Runner.run ~faults:spec.Spec.faults
                      (Workload.Scenario.with_batch sc batch_bytes)
                      ~method_id ~keys ~queries)))
          grid)
@@ -381,7 +385,8 @@ let table3 ?spec ?scenario () =
          (fun (method_id, _) ->
            Exec.Job.make ~key:method_id (fun () ->
                with_run_instrumented spec (fun () ->
-                   Runner.run sc ~method_id ~keys ~queries)))
+                   Runner.run ~faults:spec.Spec.faults sc ~method_id ~keys
+                     ~queries)))
          predictions)
   in
   List.map2
@@ -472,7 +477,7 @@ let timeline_traced ?spec ?scenario ?(method_id = Methods.C3) () =
   let r =
     with_run_profile spec (fun () ->
         Simcore.Trace.with_recording tr (fun () ->
-            Runner.run sc ~method_id ~keys ~queries))
+            Runner.run ~faults:spec.Spec.faults sc ~method_id ~keys ~queries))
   in
   let r = { r with Run_result.trace = Some tr } in
   let rendered =

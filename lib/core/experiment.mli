@@ -43,6 +43,12 @@ module Spec : sig
     tail_k : int;
         (** Size of each profiled run's tail-query inspector
             (default 8; 0 disables it). *)
+    faults : Fault.Spec.t;
+        (** Fault-injection spec applied to every Method C family run of
+            the sweep (A and B have no interconnect to degrade).
+            Default {!Fault.Spec.none}: the drivers take exactly the
+            fault-free code paths and outputs are byte-identical to a
+            spec without the field. *)
   }
 
   val default : t
@@ -62,6 +68,11 @@ module Spec : sig
   val with_profile : t -> t
   val with_profile_folded : string -> t -> t
   val with_tail_k : int -> t -> t
+  val with_faults : Fault.Spec.t -> t -> t
+
+  val faulted : t -> bool
+  (** A non-[none] fault spec is set — degraded-run columns and manifest
+      fields apply. *)
 
   val profiling : t -> bool
   (** [profile] set or a folded output path given — either implies runs

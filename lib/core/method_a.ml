@@ -75,4 +75,5 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
         ~validation_errors:!errors ();
     trace = None;
     profile = None;
+    degraded = Run_result.no_degradation;
   }

@@ -9,7 +9,7 @@ let chunk_bounds n parts =
   done;
   bounds
 
-let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
+let run ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries =
   let params = sc.Workload.Scenario.params in
   let net_profile = sc.Workload.Scenario.net in
   let n_nodes = sc.Workload.Scenario.n_nodes in
@@ -21,7 +21,15 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
   let n = Array.length queries in
   let batch_keys = Workload.Scenario.queries_per_batch sc in
   let eng = Engine.create () in
-  let net = Netsim.Network.create eng net_profile ~nodes:n_nodes in
+  (* A fault plan only exists for a non-empty spec, so the fault-free run
+     takes exactly the pre-fault-support code paths (bit-identical). *)
+  let plan =
+    match faults with
+    | Some spec when not (Fault.Spec.is_none spec) ->
+        Some (Fault.Plan.create spec ~seed:sc.Workload.Scenario.seed)
+    | _ -> None
+  in
+  let net = Netsim.Network.create ?faults:plan eng net_profile ~nodes:n_nodes in
   let part = Partition.make ~keys ~parts:n_slaves in
   let word = params.Cachesim.Mem_params.word_bytes in
   let overhead = net_profile.Netsim.Profile.host_overhead_ns in
@@ -56,7 +64,31 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
   in
   let read_at = Array.make (max 1 n) 0.0 in
   let next_batch_id = ref 0 in
-  let in_flight : (int, int array) Hashtbl.t = Hashtbl.create 256 in
+  let in_flight : (int, Failover.pending) Hashtbl.t = Hashtbl.create 256 in
+  (* --- Failover state (degraded runs only).  The timeout default is
+     several end-to-end batch times, so a healthy reply can never race
+     it. *)
+  let fo =
+    match plan with
+    | None -> None
+    | Some p ->
+        let timeout_default =
+          8.0
+          *. (net_profile.Netsim.Profile.latency_ns
+             +. Netsim.Profile.transfer_ns net_profile
+                  sc.Workload.Scenario.batch_bytes
+             +. net_profile.Netsim.Profile.host_overhead_ns)
+        in
+        Some (Failover.create p ~timeout_default ~nodes:n_nodes)
+  in
+  (* Master-resident full-key sorted arrays, for resolving a dead
+     slave's batches locally.  Built only for degraded runs (they cost
+     untimed pokes but show up in the allocation gauges). *)
+  let fallback_idx =
+    match fo with
+    | None -> [||]
+    | Some _ -> Array.map (fun m -> Index.Sorted_array.build m keys) masters
+  in
   (* --- One master process per master node. *)
   let spawn_master mi =
     let m = masters.(mi) in
@@ -77,7 +109,10 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
         let payload = Array.init len (fun j -> Machine.peek m (out_bufs.(s) + j)) in
         let id = !next_batch_id in
         incr next_batch_id;
-        Hashtbl.add in_flight id (Array.sub out_qids.(s) 0 len);
+        Hashtbl.add in_flight id
+          (Failover.make_pending
+             ~qids:(Array.sub out_qids.(s) 0 len)
+             ~payload ~dst:(n_masters + s) ~home:mi ~now:(Engine.now eng));
         Netsim.Network.isend net ~src:mi ~dst:(n_masters + s)
           ~tag:Proto.data_tag ~phase:"batch_xfer" ~size:(len * word)
           (Proto.Data (id, payload));
@@ -120,62 +155,154 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
   for s = 0 to n_slaves - 1 do
     Slave_node.spawn eng net slaves.(s) ~node:(n_masters + s)
       ~terms_expected:n_masters ~batch_keys ~index:slave_idx.(s)
-      ~reply_dst:(fun ~src -> src) ~overhead_ns:overhead ?batch_profile ()
+      ~reply_dst:(fun ~src -> src) ~overhead_ns:overhead ?batch_profile
+      ?faults:plan ()
   done;
+  (* Validate one reply's ranks and record per-query latency (shared by
+     the healthy and degraded target loops; the healthy loop calls it
+     with exactly the operations of the pre-fault code). *)
+  let record_reply ~s ~id ~qids ~ranks =
+    if Array.length qids <> Array.length ranks then incr errors
+    else
+      Array.iteri
+        (fun j rank ->
+          if Partition.base part s + rank <> expected.(qids.(j)) then
+            incr errors;
+          let resp = Engine.now eng -. read_at.(qids.(j)) in
+          Latency.add lat resp;
+          match prof with
+          | Some p when Obs.Tail.qualifies (Obs.Profile.tail p) resp ->
+              let bd =
+                match batch_profile with
+                | Some tbl ->
+                    Option.value ~default:[] (Hashtbl.find_opt tbl id)
+                | None -> []
+              in
+              let slave_ns =
+                List.fold_left (fun acc (_, x) -> acc +. x) 0.0 bd
+              in
+              Obs.Tail.note (Obs.Profile.tail p) ~id:qids.(j) ~ns:resp
+                ~batch:(Array.length ranks)
+                ~breakdown:(("queue_and_net", resp -. slave_ns) :: bd)
+          | Some _ | None -> ())
+        ranks
+  in
   (* --- One target per master node: collects and validates the results
      of that master's chunk as they arrive.  The paper sends results "to
      the target" off the critical path; we charge it no CPU (each node is
      a dual-processor machine, and validation is oracle bookkeeping
      anyway).  Replies carry partition-local ranks; the target adds the
      slave's base rank. *)
-  for mi = 0 to n_masters - 1 do
-    let quota = chunks.(mi + 1) - chunks.(mi) in
-    Engine.spawn eng ~name:(Printf.sprintf "target%d" mi) (fun () ->
-        let remaining = ref quota in
-        while !remaining > 0 do
-          let env = Netsim.Network.recv net ~dst:mi in
-          match env.Netsim.Network.payload with
-          | Proto.Reply (id, ranks) ->
-              let s = env.Netsim.Network.src - n_masters in
-              (match Hashtbl.find_opt in_flight id with
-              | None -> incr errors
-              | Some qids ->
-                  Hashtbl.remove in_flight id;
-                  if Array.length qids <> Array.length ranks then incr errors
-                  else
-                    Array.iteri
-                      (fun j rank ->
-                        if Partition.base part s + rank <> expected.(qids.(j))
-                        then incr errors;
-                        let resp = Engine.now eng -. read_at.(qids.(j)) in
-                        Latency.add lat resp;
-                        match prof with
-                        | Some p
-                          when Obs.Tail.qualifies (Obs.Profile.tail p) resp ->
-                            let bd =
-                              match batch_profile with
-                              | Some tbl ->
-                                  Option.value ~default:[]
-                                    (Hashtbl.find_opt tbl id)
-                              | None -> []
-                            in
-                            let slave_ns =
-                              List.fold_left
-                                (fun acc (_, x) -> acc +. x)
-                                0.0 bd
-                            in
-                            Obs.Tail.note (Obs.Profile.tail p) ~id:qids.(j)
-                              ~ns:resp ~batch:(Array.length ranks)
-                              ~breakdown:
-                                (("queue_and_net", resp -. slave_ns) :: bd)
-                        | Some _ | None -> ())
-                      ranks);
-              remaining := !remaining - Array.length ranks
-          | Proto.Data _ | Proto.Term -> failwith "target received a non-reply"
-        done)
-  done;
+  (match fo with
+  | None ->
+      for mi = 0 to n_masters - 1 do
+        let quota = chunks.(mi + 1) - chunks.(mi) in
+        Engine.spawn eng ~name:(Printf.sprintf "target%d" mi) (fun () ->
+            let remaining = ref quota in
+            while !remaining > 0 do
+              let env = Netsim.Network.recv net ~dst:mi in
+              match env.Netsim.Network.payload with
+              | Proto.Reply (id, ranks) ->
+                  let s = env.Netsim.Network.src - n_masters in
+                  (match Hashtbl.find_opt in_flight id with
+                  | None -> incr errors
+                  | Some p ->
+                      Hashtbl.remove in_flight id;
+                      record_reply ~s ~id ~qids:p.Failover.qids ~ranks);
+                  remaining := !remaining - Array.length ranks
+              | Proto.Data _ | Proto.Term ->
+                  failwith "target received a non-reply"
+            done)
+      done
+  | Some fo ->
+      let fplan = Failover.plan fo in
+      (* Shared across targets: a sweep at one master may redispatch a
+         batch owned by another. *)
+      let rem =
+        Array.init n_masters (fun mi -> chunks.(mi + 1) - chunks.(mi))
+      in
+      (* Re-send a stale batch, charging the host overhead to the home
+         master's [retry] phase. *)
+      let resend id (p : Failover.pending) =
+        (match prof with
+        | Some pr ->
+            Obs.Profile.charge pr ~path:[ "retry"; "host_overhead" ] overhead
+        | None -> ());
+        Netsim.Network.isend net ~src:p.Failover.home ~dst:p.Failover.dst
+          ~tag:Proto.data_tag ~phase:"retry"
+          ~size:(Array.length p.Failover.payload * word)
+          (Proto.Data (id, p.Failover.payload))
+      in
+      (* The destination is dead: answer the batch from the home
+         master's full-key index (fallback enabled) or abandon it. *)
+      let redispatch _id (p : Failover.pending) =
+        let len = Array.length p.Failover.qids in
+        if Fault.Plan.fallback fplan then begin
+          let m = masters.(p.Failover.home) in
+          let fb = fallback_idx.(p.Failover.home) in
+          Machine.set_phase m "redispatch";
+          Array.iteri
+            (fun j q ->
+              let rank = Index.Sorted_array.search fb q in
+              if rank <> expected.(p.Failover.qids.(j)) then incr errors)
+            p.Failover.payload;
+          Machine.sync m;
+          Machine.set_phase m "dispatch";
+          Failover.note_fallback fo len;
+          Array.iter
+            (fun qid ->
+              let resp = Engine.now eng -. read_at.(qid) in
+              Latency.add lat resp;
+              match prof with
+              | Some pr when Obs.Tail.qualifies (Obs.Profile.tail pr) resp ->
+                  Obs.Tail.note (Obs.Profile.tail pr) ~id:qid ~ns:resp
+                    ~batch:len
+                    ~breakdown:[ ("redispatch", resp) ]
+              | Some _ | None -> ())
+            p.Failover.qids
+        end
+        else Failover.note_lost fo ~queries:len;
+        rem.(p.Failover.home) <- rem.(p.Failover.home) - len
+      in
+      for mi = 0 to n_masters - 1 do
+        Engine.spawn eng ~name:(Printf.sprintf "target%d" mi) (fun () ->
+            while rem.(mi) > 0 do
+              (match
+                 Netsim.Network.recv_timeout net ~dst:mi
+                   ~timeout_ns:(Failover.timeout_ns fo)
+               with
+              | Some env -> (
+                  match env.Netsim.Network.payload with
+                  | Proto.Reply (id, ranks) -> (
+                      let s = env.Netsim.Network.src - n_masters in
+                      match Hashtbl.find_opt in_flight id with
+                      | None ->
+                          (* Late or duplicate reply for a batch already
+                             resolved: benign under faults. *)
+                          ()
+                      | Some p ->
+                          Hashtbl.remove in_flight id;
+                          record_reply ~s ~id ~qids:p.Failover.qids ~ranks;
+                          rem.(mi) <- rem.(mi) - Array.length ranks)
+                  | Proto.Data _ | Proto.Term ->
+                      failwith "target received a non-reply")
+              | None -> ());
+              Failover.sweep fo ~now:(Engine.now eng) ~in_flight ~resend
+                ~redispatch
+            done;
+            Failover.note_finish fo ~now:(Engine.now eng))
+      done);
   Engine.run eng;
-  let raw = Engine.now eng in
+  (* Degraded runs leave stale recv_timeout timer events that keep the
+     engine clock ticking after the last target finished; use the
+     recorded completion time instead. *)
+  let raw =
+    match fo with
+    | None -> Engine.now eng
+    | Some f ->
+        let fa = Failover.finish_at f in
+        if fa > 0.0 then fa else Engine.now eng
+  in
   if Hashtbl.length in_flight <> 0 then incr errors;
   let idle_sum = ref 0.0 in
   Array.iter
@@ -191,6 +318,11 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
         Cachesim.Hierarchy.add_stats acc
           (Cachesim.Hierarchy.stats (Machine.hierarchy m)))
       Cachesim.Hierarchy.zero_stats ms
+  in
+  let degraded =
+    match fo with
+    | None -> Run_result.no_degradation
+    | Some f -> Failover.degraded f
   in
   {
     Run_result.method_id = variant;
@@ -215,7 +347,10 @@ let run (sc : Workload.Scenario.t) ~variant ~keys ~queries =
     p95_response_ns = Latency.percentile lat 0.95;
     metrics =
       Telemetry.snapshot ~eng ~net ~machines:(Array.append masters slaves)
-        ~latency:lat ~validation_errors:!errors ();
+        ~latency:lat ~validation_errors:!errors
+        ?degraded:(match fo with None -> None | Some _ -> Some degraded)
+        ();
     trace = None;
     profile = None;
+    degraded;
   }

@@ -22,6 +22,7 @@
     replying to the originating master's node. *)
 
 val run :
+  ?faults:Fault.Spec.t ->
   Workload.Scenario.t ->
   variant:Methods.id ->
   keys:int array ->
@@ -31,4 +32,16 @@ val run :
     Uses [sc.n_nodes - 1] slaves and [sc.batch_bytes] messages.  Every
     returned rank is validated against the reference implementation.
     Raises [Invalid_argument] for variants [A]/[B] or clusters of fewer
-    than 2 nodes. *)
+    than 2 nodes.
+
+    [?faults] (default {!Fault.Spec.none}) injects faults, seeded from
+    the scenario seed: the network drops/duplicates/delays messages per
+    the spec, crashed slaves stop serving, and the master side fails
+    over — reply timeouts re-send the batch up to the spec's retry
+    budget, after which the destination is declared dead and its
+    batches are resolved with the master's local full-key index (or
+    reported lost when the spec disables fallback).  The outcome is
+    accounted in the result's [degraded] field; a run never returns a
+    silently-wrong rank.  Passing a spec for which
+    [Fault.Spec.is_none] holds takes the exact fault-free code path
+    (byte-identical result). *)

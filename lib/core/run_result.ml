@@ -1,3 +1,32 @@
+type degraded = {
+  retries : int;
+  redispatches : int;
+  lost_batches : int;
+  lost_queries : int;
+  fallback_lookups : int;
+  dead_nodes : int list;
+  msgs_dropped : int;
+  msgs_duplicated : int;
+  msgs_delayed : int;
+  msgs_blackholed : int;
+}
+
+let no_degradation =
+  {
+    retries = 0;
+    redispatches = 0;
+    lost_batches = 0;
+    lost_queries = 0;
+    fallback_lookups = 0;
+    dead_nodes = [];
+    msgs_dropped = 0;
+    msgs_duplicated = 0;
+    msgs_delayed = 0;
+    msgs_blackholed = 0;
+  }
+
+let is_degraded d = d <> no_degradation
+
 type t = {
   method_id : Methods.id;
   scenario : string;
@@ -19,22 +48,41 @@ type t = {
   metrics : Obs.Metrics.Snapshot.t;
   trace : Simcore.Trace.t option;
   profile : Obs.Profile.t option;
+  degraded : degraded;
 }
 
 let per_key_ns t = t.per_key_ns
+
+let completeness t =
+  if t.n_queries = 0 then 1.0
+  else
+    float_of_int (t.n_queries - t.degraded.lost_queries)
+    /. float_of_int t.n_queries
 let throughput_mqs t = if t.per_key_ns = 0.0 then 0.0 else 1e3 /. t.per_key_ns
 let scaled_total_s t ~queries = t.per_key_ns *. float_of_int queries /. 1e9
+
+let pp_degraded fmt d =
+  Format.fprintf fmt
+    "degraded: %d retries, %d redispatches, %d batches / %d queries lost, \
+     %d fallback lookups, dead nodes [%s], faults %d dropped / %d dup / %d \
+     delayed / %d blackholed"
+    d.retries d.redispatches d.lost_batches d.lost_queries d.fallback_lookups
+    (String.concat "," (List.map string_of_int d.dead_nodes))
+    d.msgs_dropped d.msgs_duplicated d.msgs_delayed d.msgs_blackholed
 
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>method %a on %s: %d queries, %d nodes, batch %d KB@,\
      total %a (%.1f ns/key, %.1f Mq/s)@,\
      slave idle %.1f%%, master busy %.1f%%, %d msgs / %d bytes@,\
-     validation errors %d@]"
+     validation errors %d%a@]"
     Methods.pp t.method_id t.scenario t.n_queries t.n_nodes
     (t.batch_bytes / 1024) Simcore.Simtime.pp t.total_ns t.per_key_ns
     (throughput_mqs t) (100.0 *. t.slave_idle) (100.0 *. t.master_busy)
     t.messages t.bytes_sent t.validation_errors
+    (fun fmt d ->
+      if is_degraded d then Format.fprintf fmt "@,%a" pp_degraded d)
+    t.degraded
 
 let header =
   [
@@ -59,4 +107,30 @@ let to_cells t =
     string_of_int t.validation_errors;
     Printf.sprintf "%.0f" t.mean_response_ns;
     Printf.sprintf "%.0f" t.p95_response_ns;
+  ]
+
+(* Kept separate from [header]/[to_cells] so fault-free CSV output stays
+   byte-identical; drivers append these columns only when a fault plan
+   was active. *)
+let degraded_header =
+  [
+    "retries"; "redispatches"; "lost_batches"; "lost_queries";
+    "fallback_lookups"; "dead_nodes"; "msgs_dropped"; "msgs_duplicated";
+    "msgs_delayed"; "msgs_blackholed"; "completeness";
+  ]
+
+let degraded_cells t =
+  let d = t.degraded in
+  [
+    string_of_int d.retries;
+    string_of_int d.redispatches;
+    string_of_int d.lost_batches;
+    string_of_int d.lost_queries;
+    string_of_int d.fallback_lookups;
+    String.concat ";" (List.map string_of_int d.dead_nodes);
+    string_of_int d.msgs_dropped;
+    string_of_int d.msgs_duplicated;
+    string_of_int d.msgs_delayed;
+    string_of_int d.msgs_blackholed;
+    Printf.sprintf "%.6f" (completeness t);
   ]

@@ -1,5 +1,32 @@
 (** Measured outcome of one simulated experiment run. *)
 
+type degraded = {
+  retries : int;  (** Batch re-sends after a reply timeout. *)
+  redispatches : int;
+      (** Batches whose destination was declared dead and whose queries
+          were re-routed (resolved at the master or reported lost). *)
+  lost_batches : int;
+      (** Redispatched batches that could not be resolved (fallback
+          disabled): their queries are counted in [lost_queries] and are
+          the only queries a degraded run may leave unanswered. *)
+  lost_queries : int;
+  fallback_lookups : int;
+      (** Queries resolved by the master's local reference lookup. *)
+  dead_nodes : int list;  (** Nodes declared dead, ascending. *)
+  msgs_dropped : int;  (** Injection totals, from {!Fault.Plan.stats}. *)
+  msgs_duplicated : int;
+  msgs_delayed : int;
+  msgs_blackholed : int;
+}
+(** Answer-completeness accounting for a fault-injected run.  A run
+    either validates every returned rank or reports the unanswered
+    queries here — never silently wrong. *)
+
+val no_degradation : degraded
+(** All-zero: the invariant state of every fault-free run. *)
+
+val is_degraded : degraded -> bool
+
 type t = {
   method_id : Methods.id;
   scenario : string;
@@ -47,6 +74,8 @@ type t = {
           finalized against [raw_ns], so
           [Obs.Profile.conserved p = true].  Carries the tail-query
           inspector.  [None] otherwise. *)
+  degraded : degraded;
+      (** {!no_degradation} unless the run carried a fault plan. *)
 }
 
 val per_key_ns : t -> float
@@ -57,8 +86,20 @@ val scaled_total_s : t -> queries:int -> float
 (** Present the per-key cost at a different query volume — used to report
     paper-scale (2^23-key) seconds from a scaled run. *)
 
+val completeness : t -> float
+(** Fraction of queries answered (1.0 unless queries were lost). *)
+
 val pp : Format.formatter -> t -> unit
+(** Appends a degradation line when [is_degraded t.degraded]. *)
+
 val header : string list
 (** CSV/table column names matching {!to_cells}. *)
 
 val to_cells : t -> string list
+
+val degraded_header : string list
+(** Extra CSV columns for fault-injected runs, matching
+    {!degraded_cells}.  Kept separate from {!header} so fault-free
+    output is byte-identical to a build without fault support. *)
+
+val degraded_cells : t -> string list

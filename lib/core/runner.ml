@@ -1,9 +1,9 @@
-let run sc ~method_id ~keys ~queries =
+let run ?faults sc ~method_id ~keys ~queries =
   match (method_id : Methods.id) with
   | Methods.A -> Method_a.run sc ~keys ~queries
   | Methods.B -> Method_b.run sc ~keys ~queries
   | Methods.C1 | Methods.C2 | Methods.C3 ->
-      Method_c.run sc ~variant:method_id ~keys ~queries
+      Method_c.run sc ?faults ~variant:method_id ~keys ~queries
 
 let workload (sc : Workload.Scenario.t) =
   let g = Prng.Splitmix.create sc.Workload.Scenario.seed in

@@ -25,17 +25,33 @@ let overflow_flushes = function
   | S_csb _ | S_array _ -> 0
 
 let spawn eng net m ~node ~terms_expected ~batch_keys ~index ~reply_dst
-    ~overhead_ns ?batch_profile () =
+    ~overhead_ns ?batch_profile ?faults () =
   let params = Machine.params m in
   let word = params.Cachesim.Mem_params.word_bytes in
   let rx = [| Machine.alloc m batch_keys; Machine.alloc m batch_keys |] in
   let reply = Machine.alloc m batch_keys in
+  let slow_factor =
+    match faults with
+    | Some plan -> Fault.Plan.slow_factor plan ~node
+    | None -> 1.0
+  in
   Engine.spawn eng ~name:(Printf.sprintf "slave@%d" node) (fun () ->
       let terms = ref 0 in
       let rx_sel = ref 0 in
       while !terms < terms_expected do
         let env = Netsim.Network.recv net ~dst:node in
+        (* A crashed node stops serving: count the message as a Term so
+           the loop drains out.  (The network already black-holes
+           post-crash traffic; this catches messages in flight across
+           the crash instant.) *)
+        let crashed =
+          match faults with
+          | Some plan ->
+              Fault.Plan.crashed plan ~node ~now:(Engine.now eng)
+          | None -> false
+        in
         match env.Netsim.Network.payload with
+        | _ when crashed -> terms := terms_expected
         | Proto.Term -> incr terms
         | Proto.Reply _ -> failwith "slave received a reply"
         | Proto.Data (id, ks) ->
@@ -50,6 +66,13 @@ let spawn eng net m ~node ~terms_expected ~batch_keys ~index ~reply_dst
             let cnt = Array.length ks in
             let buf = rx.(!rx_sel) in
             Machine.dma_write m buf ks;
+            let busy_lk0 =
+              if slow_factor > 1.0 then begin
+                Machine.sync m;
+                Machine.busy_ns m
+              end
+              else 0.0
+            in
             Machine.set_phase m "lookup";
             (match index with
             | S_array sa ->
@@ -65,6 +88,17 @@ let spawn eng net m ~node ~terms_expected ~batch_keys ~index ~reply_dst
             | S_buffered b ->
                 Index.Buffered.process_batch b ~queries:buf ~results:reply
                   ~n:cnt);
+            (* A slow node's computation takes [slow_factor] times as
+               long: charge the surplus over the measured lookup time. *)
+            if slow_factor > 1.0 then begin
+              Machine.sync m;
+              let extra =
+                (slow_factor -. 1.0) *. (Machine.busy_ns m -. busy_lk0)
+              in
+              Machine.set_phase m "slow_node";
+              Machine.compute m extra;
+              Machine.sync m
+            end;
             Machine.set_phase m "batch_xfer";
             Machine.compute m overhead_ns;
             Machine.sync m;

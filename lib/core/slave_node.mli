@@ -30,6 +30,7 @@ val spawn :
   reply_dst:(src:int -> int) ->
   overhead_ns:float ->
   ?batch_profile:(int, (string * float) list) Hashtbl.t ->
+  ?faults:Fault.Plan.t ->
   unit ->
   unit
 (** Start the serving process on [node]: receive [Data] batches from any
@@ -44,4 +45,9 @@ val spawn :
     [batch_xfer], index lookups under [lookup], replies on the wire
     under [reply].  When [batch_profile] is given, each served batch's
     per-component cost breakdown (including ["cpu"]) is stored in it
-    keyed by batch id, for the caller's tail-query inspector. *)
+    keyed by batch id, for the caller's tail-query inspector.
+
+    When [faults] names this node in a [slow] clause, the surplus
+    compute time is charged under phase [slow_node]; when it crashes
+    the node, the serving loop stops at the first message handled at or
+    after the crash instant (the network black-holes later traffic). *)

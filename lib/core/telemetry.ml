@@ -2,7 +2,7 @@
    registry here, so series names and label conventions stay uniform
    across Methods A..C-3 and the hierarchical variant. *)
 
-let snapshot ~eng ?net ~machines ~latency ~validation_errors () =
+let snapshot ~eng ?net ~machines ~latency ~validation_errors ?degraded () =
   let reg = Obs.Metrics.create () in
   Simcore.Engine.record_metrics eng reg;
   Array.iter (fun m -> Machine.record_metrics m reg) machines;
@@ -11,6 +11,21 @@ let snapshot ~eng ?net ~machines ~latency ~validation_errors () =
   | None -> ());
   Obs.Metrics.observe_hist reg "response_ns" (Latency.histogram latency);
   Obs.Metrics.incr reg "validation_errors" validation_errors;
+  (* Failover counters appear only for fault-injected runs, so
+     fault-free metrics files stay byte-identical.  (The network's
+     injection counters are emitted by Network.record_metrics above,
+     under the same rule.) *)
+  (match degraded with
+  | None -> ()
+  | Some (d : Run_result.degraded) ->
+      Obs.Metrics.incr reg "failover_retries" d.Run_result.retries;
+      Obs.Metrics.incr reg "failover_redispatches" d.Run_result.redispatches;
+      Obs.Metrics.incr reg "failover_lost_batches" d.Run_result.lost_batches;
+      Obs.Metrics.incr reg "failover_lost_queries" d.Run_result.lost_queries;
+      Obs.Metrics.incr reg "failover_fallback_lookups"
+        d.Run_result.fallback_lookups;
+      Obs.Metrics.incr reg "failover_dead_nodes"
+        (List.length d.Run_result.dead_nodes));
   Obs.Metrics.snapshot reg
 
 let run_label (r : Run_result.t) =
@@ -39,8 +54,12 @@ let host_fields () =
    a simulation input (results are byte-identical at any value), so it
    lives in the host block via [pool_max_workers] and the metrics file
    diffs clean across --jobs values. *)
-let manifest_fields (sc : Workload.Scenario.t) ~methods ~batches =
-  [
+let manifest_fields ?faults (sc : Workload.Scenario.t) ~methods ~batches =
+  (match faults with
+  | Some spec when not (Fault.Spec.is_none spec) ->
+      [ ("faults", Obs.Json.String (Fault.Spec.to_string spec)) ]
+  | _ -> [])
+  @ [
     ("scenario", Obs.Json.String sc.Workload.Scenario.name);
     ("seed", Obs.Json.Int sc.Workload.Scenario.seed);
     ("n_keys", Obs.Json.Int sc.Workload.Scenario.n_keys);

@@ -20,18 +20,22 @@ val snapshot :
   machines:Machine.t array ->
   latency:Latency.t ->
   validation_errors:int ->
+  ?degraded:Run_result.degraded ->
   unit ->
   Obs.Metrics.Snapshot.t
 (** Harvest one finished simulation into a registry snapshot: engine
     counters, every machine's [node_*]/[mem_*]/[cache_*] series, the
     network's [net_*] series (when present), the [response_ns] histogram
-    and the [validation_errors] counter. *)
+    and the [validation_errors] counter.  [?degraded] (fault-injected
+    runs only) adds the [failover_*] counters; omitting it keeps the
+    snapshot identical to a build without fault support. *)
 
 val run_label : Run_result.t -> string
 (** Stable label identifying a run inside a metrics/trace file:
     ["<method> <scenario> batch=<n>KB"]. *)
 
 val manifest_fields :
+  ?faults:Fault.Spec.t ->
   Workload.Scenario.t ->
   methods:Methods.id list ->
   batches:int list ->
@@ -39,7 +43,9 @@ val manifest_fields :
 (** Provenance fields for a sweep's manifest.  Worker count is omitted
     deliberately: it is host provenance (results do not depend on it), so
     it appears only in the manifest's host block and metrics files diff
-    clean across [--jobs] values. *)
+    clean across [--jobs] values.  A non-empty [?faults] spec adds a
+    ["faults"] field with its canonical rendering; a fault-free manifest
+    is unchanged. *)
 
 val metrics_document :
   generator:string ->

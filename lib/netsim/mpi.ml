@@ -12,11 +12,11 @@ type 'a t = {
   mutable collectives : (string * int) list; (* per-op call counts *)
 }
 
-let create eng profile ~ranks =
+let create ?faults eng profile ~ranks =
   if ranks < 1 then invalid_arg "Mpi.create: need at least one rank";
   {
     eng;
-    net = Network.create eng profile ~nodes:ranks;
+    net = Network.create ?faults eng profile ~nodes:ranks;
     n = ranks;
     stash = Array.init ranks (fun _ -> Queue.create ());
     sends = 0;
@@ -82,6 +82,34 @@ let recv t ~rank ?source ?tag () =
           Queue.push env t.stash.(rank);
           wait ()
         end
+      in
+      wait ()
+
+let recv_timeout t ~rank ?source ?tag ~timeout_ns () =
+  check_rank t rank "recv_timeout";
+  t.recvs <- t.recvs + 1;
+  match take_from_stash t ~rank ?source ?tag () with
+  | Some env ->
+      t.stash_hits <- t.stash_hits + 1;
+      Some (env.Network.src, env.Network.tag, env.Network.payload)
+  | None ->
+      (* The deadline is absolute: non-matching arrivals are stashed
+         without extending the wait. *)
+      let deadline = Simcore.Engine.now t.eng +. timeout_ns in
+      let rec wait () =
+        let remaining = deadline -. Simcore.Engine.now t.eng in
+        if remaining <= 0.0 then None
+        else
+          match Network.recv_timeout t.net ~dst:rank ~timeout_ns:remaining with
+          | None -> None
+          | Some env ->
+              if matches ?source ?tag env then
+                Some (env.Network.src, env.Network.tag, env.Network.payload)
+              else begin
+                t.stashed <- t.stashed + 1;
+                Queue.push env t.stash.(rank);
+                wait ()
+              end
       in
       wait ()
 

@@ -17,7 +17,12 @@
 type 'a t
 (** A communicator carrying messages of type ['a]. *)
 
-val create : Simcore.Engine.t -> Profile.t -> ranks:int -> 'a t
+val create : ?faults:Fault.Plan.t -> Simcore.Engine.t -> Profile.t -> ranks:int -> 'a t
+(** [?faults] is forwarded to the underlying {!Network.create};
+    non-overtaking still holds for the messages that are delivered
+    (injected delay spikes stall the sender's link rather than reorder
+    messages). *)
+
 val engine : 'a t -> Simcore.Engine.t
 val ranks : 'a t -> int
 val network : 'a t -> 'a Network.t
@@ -32,6 +37,20 @@ val recv :
     matching the optional [source] and [tag] selectors arrives (earlier
     non-matching messages are stashed, preserving their order for later
     receives).  Returns [(source, tag, payload)]. *)
+
+val recv_timeout :
+  'a t ->
+  rank:int ->
+  ?source:int ->
+  ?tag:int ->
+  timeout_ns:float ->
+  unit ->
+  (int * int * 'a) option
+(** Like {!recv}, but returns [None] if no matching message arrives
+    within [timeout_ns] simulated nanoseconds.  The deadline is
+    absolute: non-matching arrivals are stashed (as in {!recv}) without
+    restarting the clock.  See {!Network.recv_timeout} for the
+    engine-clock caveat. *)
 
 val probe : 'a t -> rank:int -> ?source:int -> ?tag:int -> unit -> bool
 (** Non-blocking check whether a matching message is available. *)

@@ -28,10 +28,18 @@ type 'a envelope = {
 
 type 'a t
 
-val create : Simcore.Engine.t -> Profile.t -> nodes:int -> 'a t
+val create : ?faults:Fault.Plan.t -> Simcore.Engine.t -> Profile.t -> nodes:int -> 'a t
+(** [?faults] attaches a fault plan: every subsequent [isend] consults it
+    for drop / duplicate / delay-spike / degradation decisions, and
+    messages to or from a crashed node are black-holed.  Without it the
+    interconnect is exactly the fault-free model (bit-identical event
+    stream). *)
+
 val engine : 'a t -> Simcore.Engine.t
 val profile : 'a t -> Profile.t
 val nodes : 'a t -> int
+
+val faults : 'a t -> Fault.Plan.t option
 
 val isend :
   'a t -> src:int -> dst:int -> ?tag:int -> ?phase:string -> size:int -> 'a -> unit
@@ -47,8 +55,28 @@ val recv : 'a t -> dst:int -> 'a envelope
 (** Blocking receive of the next message addressed to [dst], in delivery
     order. *)
 
+val recv_timeout : 'a t -> dst:int -> timeout_ns:float -> 'a envelope option
+(** Blocking receive that gives up after [timeout_ns] simulated
+    nanoseconds of silence and returns [None].  Note the engine keeps
+    the (no-op) timer event, so [Engine.now] after the run can exceed
+    the last useful event; failover drivers track their own completion
+    time. *)
+
 val try_recv : 'a t -> dst:int -> 'a envelope option
 val pending : 'a t -> dst:int -> int
+
+val retry_with_backoff :
+  ?backoff:float ->
+  attempts:int ->
+  timeout_ns:float ->
+  (attempt:int -> timeout_ns:float -> 'b option) ->
+  'b option
+(** [retry_with_backoff ~attempts ~timeout_ns f] runs
+    [f ~attempt ~timeout_ns] with [attempt = 0, 1, ..., attempts],
+    multiplying the timeout by [backoff] (default [2.0]) after each
+    [None], and returns the first [Some] result ([None] once the
+    attempt budget is exhausted).  A pure combinator: [f] does the
+    sending/receiving. *)
 
 (** {2 Accounting} *)
 
@@ -70,4 +98,8 @@ val record_metrics : 'a t -> Obs.Metrics.t -> unit
 (** Dump interconnect counters into a metrics registry:
     [net_messages_sent], [net_bytes_sent], [net_messages_delivered],
     [net_queue_ns] (counters) and per-node [net_tx_busy_ns] /
-    [net_rx_busy_ns] NIC-occupancy gauges labelled [node=<i>]. *)
+    [net_rx_busy_ns] NIC-occupancy gauges labelled [node=<i>].  When a
+    fault plan is attached, also [net_faults_dropped],
+    [net_faults_duplicated], [net_faults_delayed] and
+    [net_faults_blackholed]; a fault-free network emits no fault
+    counters, keeping its metrics dump byte-identical to before. *)

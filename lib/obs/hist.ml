@@ -129,3 +129,5 @@ let quantile s q =
   end
 
 let quantiles s = (quantile s 0.5, quantile s 0.95, quantile s 0.99)
+
+let quantiles_opt s = if s.count = 0 then None else Some (quantiles s)

@@ -55,7 +55,13 @@ val quantile : snapshot -> float -> float
 
 val quantiles : snapshot -> float * float * float
 (** [(p50, p95, p99)] via {!quantile} — the trio the text rendering
-    shows.  All [0.] when empty. *)
+    shows.  All [0.] when empty: an empty histogram is pinned to zero
+    quantiles, never [max_v] ([neg_infinity]) leaking out of the bucket
+    walk. *)
+
+val quantiles_opt : snapshot -> (float * float * float) option
+(** {!quantiles}, distinguishing "no observations" ([None]) from a
+    stream whose quantiles are genuinely zero. *)
 
 val bucket_of : float -> int
 (** Bucket exponent for a value: [e] with [v] in [(2^(e-1), 2^e]];

@@ -20,6 +20,14 @@ val recv : Engine.t -> 'a t -> 'a
 (** Dequeue a message, blocking the calling process if the channel is
     empty.  Must be called from inside a process. *)
 
+val recv_timeout : Engine.t -> 'a t -> timeout_ns:float -> 'a option
+(** Like {!recv}, but gives up and returns [None] if no message arrives
+    within [timeout_ns] simulated nanoseconds.  The timer event is
+    scheduled unconditionally, so a call that succeeds still leaves a
+    (no-op) event in the engine queue at [now + timeout_ns]; callers
+    that care about the final clock value should track their own
+    completion time.  Must be called from inside a process. *)
+
 val try_recv : 'a t -> 'a option
 (** Non-blocking receive. *)
 

@@ -98,6 +98,57 @@ let test_hist_quantiles () =
   check_bool "render shows p95" true (contains "p95<=100");
   check_bool "render shows p99" true (contains "p99<=100")
 
+let test_hist_empty_quantiles () =
+  (* Regression: an empty histogram's quantiles are pinned to 0, and the
+     _opt variant distinguishes "no data" from "all-zero data". *)
+  let s = Obs.Hist.empty in
+  check_float "quantile 0" 0.0 (Obs.Hist.quantile s 0.0);
+  check_float "quantile 0.5" 0.0 (Obs.Hist.quantile s 0.5);
+  check_float "quantile 1" 0.0 (Obs.Hist.quantile s 1.0);
+  let p50, p95, p99 = Obs.Hist.quantiles s in
+  check_float "p50" 0.0 p50;
+  check_float "p95" 0.0 p95;
+  check_float "p99" 0.0 p99;
+  check_bool "quantiles_opt empty" true (Obs.Hist.quantiles_opt s = None);
+  (* Same for a live histogram that never saw an observation. *)
+  let s = Obs.Hist.snapshot (Obs.Hist.create ()) in
+  check_bool "fresh histogram" true
+    (Obs.Hist.quantiles s = (0.0, 0.0, 0.0)
+    && Obs.Hist.quantiles_opt s = None);
+  (* Non-empty agrees with the plain trio, even when all-zero. *)
+  let h = Obs.Hist.create () in
+  Obs.Hist.observe h 0.0;
+  let s = Obs.Hist.snapshot h in
+  check_bool "quantiles_opt non-empty" true
+    (Obs.Hist.quantiles_opt s = Some (Obs.Hist.quantiles s))
+
+(* ------------------------------------------------------------------ *)
+(* Tail inspector edge cases *)
+
+let test_tail_k0_disabled () =
+  let t = Obs.Tail.create ~k:0 in
+  check_bool "nothing qualifies" true (not (Obs.Tail.qualifies t 1e18));
+  Obs.Tail.note t ~id:0 ~ns:5.0 ~batch:1 ~breakdown:[];
+  check_bool "note is a no-op" true (Obs.Tail.worst t = []);
+  check_string "render empty" "" (Obs.Tail.render t)
+
+let test_tail_k_exceeds_observations () =
+  let t = Obs.Tail.create ~k:100 in
+  List.iteri
+    (fun i ns -> Obs.Tail.note t ~id:i ~ns ~batch:1 ~breakdown:[])
+    [ 3.0; 9.0; 1.0 ];
+  let ws = Obs.Tail.worst t in
+  check_int "keeps every observation" 3 (List.length ws);
+  check_bool "slowest first" true
+    (List.map (fun e -> e.Obs.Tail.ns) ws = [ 9.0; 3.0; 1.0 ]);
+  (* Ties break towards the earlier query id, deterministically. *)
+  let t = Obs.Tail.create ~k:2 in
+  List.iter
+    (fun id -> Obs.Tail.note t ~id ~ns:7.0 ~batch:1 ~breakdown:[])
+    [ 5; 1; 9 ];
+  check_bool "tie-break by id" true
+    (List.map (fun e -> e.Obs.Tail.id) (Obs.Tail.worst t) = [ 1; 5 ])
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry *)
 
@@ -568,6 +619,14 @@ let () =
           Alcotest.test_case "merge/diff algebra" `Quick test_hist_algebra;
           Alcotest.test_case "p50/p95/p99 quantiles" `Quick
             test_hist_quantiles;
+          Alcotest.test_case "empty histogram quantiles" `Quick
+            test_hist_empty_quantiles;
+        ] );
+      ( "tail",
+        [
+          Alcotest.test_case "k=0 disables" `Quick test_tail_k0_disabled;
+          Alcotest.test_case "k exceeds observations" `Quick
+            test_tail_k_exceeds_observations;
         ] );
       ( "metrics",
         [
