@@ -27,11 +27,26 @@ open Toolkit
    baseline-gate modes never pay for them) *)
 
 let bench_scenario =
-  {
-    Workload.Scenario.paper with
-    Workload.Scenario.name = "bench";
-    n_queries = 1 lsl 15;
-  }
+  Workload.Scenario.paper
+  |> Workload.Scenario.with_name "bench"
+  |> Workload.Scenario.with_queries (1 lsl 15)
+
+let bench_spec =
+  Dispatch.Experiment.Spec.default
+  |> Dispatch.Experiment.Spec.with_scenario bench_scenario
+
+(* Open-loop serving fixture: a short horizon keeps one serving run in
+   the same cost envelope as the other artefact benchmarks. *)
+let serve_scenario =
+  bench_scenario
+  |> Workload.Scenario.with_name "bench-serve"
+  |> Workload.Scenario.with_duration 4e6
+  |> Workload.Scenario.with_clients 16
+
+let serve_spec =
+  Dispatch.Experiment.Spec.default
+  |> Dispatch.Experiment.Spec.with_scenario serve_scenario
+  |> Dispatch.Experiment.Spec.with_methods [ Dispatch.Methods.B; Dispatch.Methods.C3 ]
 
 let workload = lazy (Dispatch.Runner.workload bench_scenario)
 
@@ -135,7 +150,7 @@ let artefact_tests () =
   let test_table1 =
     Test.make ~name:"table1/index-setup"
       (Staged.stage @@ fun () ->
-       ignore (Dispatch.Experiment.table1 ~scenario:bench_scenario ()))
+       ignore (Dispatch.Experiment.table1 bench_spec))
   in
   let test_table2 =
     Test.make ~name:"table2/calibration"
@@ -158,7 +173,7 @@ let artefact_tests () =
   let test_hier_point =
     let sc =
       Workload.Scenario.with_batch
-        { bench_scenario with Workload.Scenario.n_nodes = 13 }
+        (Workload.Scenario.with_nodes 13 bench_scenario)
         (128 * 1024)
     in
     Test.make ~name:"extension/method-C3-hier"
@@ -187,11 +202,15 @@ let artefact_tests () =
   let test_fig4 =
     Test.make ~name:"fig4/trend-model"
       (Staged.stage @@ fun () ->
-       ignore (Dispatch.Experiment.fig4 ~scenario:bench_scenario ~years:5 ()))
+       ignore (Dispatch.Experiment.fig4 ~years:5 bench_spec))
+  in
+  let test_serve =
+    Test.make ~name:"serve/open-loop-B-C3"
+      (Staged.stage @@ fun () -> ignore (Dispatch.Serve.run serve_spec))
   in
   Test.make_grouped ~name:"paper"
     [ test_table1; test_table2; test_fig3; test_table3; test_fig4;
-      test_hier_point ]
+      test_hier_point; test_serve ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel plumbing *)
@@ -239,15 +258,13 @@ let print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path =
   print_endline "\n===== paper artefacts at bench scale =====\n";
   print_endline "--- Table 1 ---";
   print_string
-    (Report.Table.render (Dispatch.Experiment.table1 ~scenario:bench_scenario ()));
+    (Report.Table.render (Dispatch.Experiment.table1 bench_spec));
   print_endline "\n--- Table 2 ---";
   print_string
-    (Report.Table.render (Dispatch.Experiment.table2 ~scenario:bench_scenario ()));
+    (Report.Table.render (Dispatch.Experiment.table2 bench_spec));
   Printf.printf "\n--- Figure 3 (reduced sweep, %d worker domain%s) ---\n"
     jobs (if jobs = 1 then "" else "s");
-  let sweep_sc =
-    { bench_scenario with Workload.Scenario.n_queries = 1 lsl 17 }
-  in
+  let sweep_sc = Workload.Scenario.with_queries (1 lsl 17) bench_scenario in
   let spec =
     Dispatch.Experiment.Spec.default
     |> Dispatch.Experiment.Spec.with_scenario sweep_sc
@@ -262,7 +279,7 @@ let print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path =
        | None -> Fun.id)
     |> Dispatch.Experiment.Spec.with_faults faults
   in
-  let rows = Dispatch.Experiment.fig3 ~spec () in
+  let rows = Dispatch.Experiment.fig3 spec in
   print_string (Dispatch.Experiment.render_fig3 ~scenario:sweep_sc rows);
   let runs =
     List.concat_map
@@ -275,9 +292,7 @@ let print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path =
     (fun p -> Printf.printf "\nwrote %s\n" p)
     (List.filter_map Fun.id [ metrics_path; trace_path ]);
   print_endline "\n--- Table 3 ---";
-  let t3_sc =
-    { bench_scenario with Workload.Scenario.n_queries = 1 lsl 18 }
-  in
+  let t3_sc = Workload.Scenario.with_queries (1 lsl 18) bench_scenario in
   let t3_spec =
     Dispatch.Experiment.Spec.default
     |> Dispatch.Experiment.Spec.with_scenario t3_sc
@@ -285,11 +300,16 @@ let print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path =
   in
   print_string
     (Dispatch.Experiment.render_table3 ~scenario:t3_sc
-       (Dispatch.Experiment.table3 ~spec:t3_spec ()));
+       (Dispatch.Experiment.table3 t3_spec));
   print_endline "\n--- Figure 4 ---";
   print_string
-    (Dispatch.Experiment.render_fig4
-       (Dispatch.Experiment.fig4 ~scenario:bench_scenario ~years:5 ()))
+    (Dispatch.Experiment.render_fig4 (Dispatch.Experiment.fig4 ~years:5 bench_spec));
+  print_endline "\n--- Serving (open loop, bench scale) ---";
+  let serve_reports =
+    Dispatch.Serve.run
+      (Dispatch.Experiment.Spec.with_jobs jobs serve_spec)
+  in
+  print_string (Dispatch.Serve.render ~scenario:serve_scenario serve_reports)
 
 let run_benchmarks ~jobs ~faults ~metrics_path ~trace_path =
   print_endline "===== microbenchmarks (bechamel) =====";

@@ -68,16 +68,16 @@ let print_profiles spec runs =
 let run_table1 spec =
   say "%a@\n" Workload.Scenario.pp (Spec.scenario spec);
   say "Table 1: the index structure setup@\n@\n%s"
-    (Report.Table.render (Dispatch.Experiment.table1 ~spec ()))
+    (Report.Table.render (Dispatch.Experiment.table1 spec))
 
 let run_table2 spec =
   say "Table 2: parameters measured on the simulated cluster@\n@\n%s"
-    (Report.Table.render (Dispatch.Experiment.table2 ~spec ()))
+    (Report.Table.render (Dispatch.Experiment.table2 spec))
 
 let run_table3 spec =
   let sc = Spec.scenario spec in
   say "%a@\n" Workload.Scenario.pp sc;
-  let rows = Dispatch.Experiment.table3 ~spec () in
+  let rows = Dispatch.Experiment.table3 spec in
   print_string (Dispatch.Experiment.render_table3 ~scenario:sc rows);
   let runs =
     labelled (List.map (fun r -> r.Dispatch.Experiment.run) rows)
@@ -90,7 +90,7 @@ let run_table3 spec =
 let run_fig3 spec csv =
   let sc = Spec.scenario spec in
   say "%a@\n" Workload.Scenario.pp sc;
-  let rows = Dispatch.Experiment.fig3 ~spec () in
+  let rows = Dispatch.Experiment.fig3 spec in
   print_string (Dispatch.Experiment.render_fig3 ~scenario:sc rows);
   (match csv with
   | None -> ()
@@ -129,19 +129,19 @@ let run_fig3 spec csv =
 let run_fig4 spec years =
   say "%a@\n" Workload.Scenario.pp (Spec.scenario spec);
   print_string
-    (Dispatch.Experiment.render_fig4 (Dispatch.Experiment.fig4 ~spec ~years ()))
+    (Dispatch.Experiment.render_fig4 (Dispatch.Experiment.fig4 ~years spec))
 
 let run_ablation spec which =
   let table =
     match String.lowercase_ascii which with
-    | "batch-overhead" -> Ok (Dispatch.Ablation.batch_overhead ~spec ())
-    | "network" -> Ok (Dispatch.Ablation.network ~spec ())
-    | "skew" -> Ok (Dispatch.Ablation.skew ~spec ())
-    | "masters" -> Ok (Dispatch.Ablation.masters ~spec ())
-    | "linesize" | "line-size" -> Ok (Dispatch.Ablation.line_size ~spec ())
-    | "slave-structure" -> Ok (Dispatch.Ablation.slave_structure ~spec ())
-    | "structures" -> Ok (Dispatch.Ablation.structures ~spec ())
-    | "hierarchy" -> Ok (Dispatch.Ablation.hierarchy ~spec ())
+    | "batch-overhead" -> Ok (Dispatch.Ablation.batch_overhead spec)
+    | "network" -> Ok (Dispatch.Ablation.network spec)
+    | "skew" -> Ok (Dispatch.Ablation.skew spec)
+    | "masters" -> Ok (Dispatch.Ablation.masters spec)
+    | "linesize" | "line-size" -> Ok (Dispatch.Ablation.line_size spec)
+    | "slave-structure" -> Ok (Dispatch.Ablation.slave_structure spec)
+    | "structures" -> Ok (Dispatch.Ablation.structures spec)
+    | "hierarchy" -> Ok (Dispatch.Ablation.hierarchy spec)
     | other -> Error other
   in
   match table with
@@ -165,12 +165,39 @@ let run_timeline spec =
     | _ -> Dispatch.Methods.C3
   in
   say "%a@\n" Workload.Scenario.pp (Spec.scenario spec);
-  let rendered, r = Dispatch.Experiment.timeline_traced ~spec ~method_id () in
+  let rendered, r = Dispatch.Experiment.timeline_traced ~method_id spec in
   print_string rendered;
   let runs = labelled [ r ] in
   print_degraded runs;
   print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro timeline" runs;
+  check_validation runs
+
+(* Open-loop serving with SLO accounting.  One run per method at the
+   spec's offered load, or a load sweep when --loads is given. *)
+let run_serve spec csv loads =
+  let sc = Spec.scenario spec in
+  say "%a@\n" Workload.Scenario.pp sc;
+  let reports =
+    match loads with
+    | [] -> Dispatch.Serve.run spec
+    | loads -> Dispatch.Serve.load_sweep spec ~loads
+  in
+  print_string (Dispatch.Serve.render ~scenario:sc reports);
+  (match csv with
+  | None -> ()
+  | Some path ->
+      Report.Csv.save ~path ~header:Dispatch.Run_result.serving_header
+        (List.map
+           (fun { Dispatch.Serve.run; serving } ->
+             Dispatch.Run_result.serving_cells run serving)
+           reports);
+      say "wrote %s" path);
+  let runs =
+    labelled (List.map (fun r -> r.Dispatch.Serve.run) reports)
+  in
+  print_degraded runs;
+  Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro serve" runs;
   check_validation runs
 
 let run_all spec =
@@ -223,6 +250,26 @@ let timeline_cmd =
        ~doc:"Gantt chart of per-node busy time for one method (default C-3).")
     Term.(const run_timeline $ spec_term)
 
+let serve_cmd =
+  let loads =
+    let doc =
+      "Comma-separated offered loads (queries per second) to sweep; each \
+       rescales the arrival process.  Without it, one run per method at \
+       the spec's own load."
+    in
+    Arg.(
+      value
+      & opt (list ~sep:',' float) []
+      & info [ "loads" ] ~docv:"QPS,..." ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Online serving: open-loop arrivals (--arrival, --offered-load, \
+          --duration, --clients) through each method with SLO accounting \
+          (--slo).")
+    Term.(const run_serve $ spec_term $ csv_arg $ loads)
+
 let all_cmd = cmd_of "all" "Run every table and figure in sequence." run_all
 
 let () =
@@ -236,6 +283,6 @@ let () =
   let group =
     Cmd.group info
       [ table1_cmd; table2_cmd; table3_cmd; fig3_cmd; fig4_cmd; ablation_cmd;
-        timeline_cmd; all_cmd ]
+        timeline_cmd; serve_cmd; all_cmd ]
   in
   exit (Cmd.eval group)

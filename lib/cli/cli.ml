@@ -145,12 +145,60 @@ let faults_arg =
   Arg.(
     value & opt spec_conv Fault.Spec.none & info [ "faults" ] ~docv:"SPEC" ~doc)
 
+let arrival_arg =
+  let doc =
+    "Arrival process for 'serve': poisson:rate=QPS (shorthand \
+     poisson:QPS) | mmpp:rate=QPS,burst=F,on=NS,off=NS | \
+     diurnal:rate=QPS,peak=F,period=NS | replay:path=FILE (shorthand \
+     replay:FILE).  Deterministic for a given scenario seed."
+  in
+  let arrival_conv =
+    Arg.conv
+      ( (fun s ->
+          match Workload.Arrival.parse s with
+          | Ok a -> Ok a
+          | Error msg -> Error (`Msg msg)),
+        fun fmt a ->
+          Format.pp_print_string fmt (Workload.Arrival.to_string a) )
+  in
+  Arg.(
+    value
+    & opt (some arrival_conv) None
+    & info [ "arrival" ] ~docv:"SPEC" ~doc)
+
+let slo_arg =
+  let doc =
+    "Response-time budget for 'serve' SLO accounting, in simulated \
+     nanoseconds (default 1e6 = 1 ms)."
+  in
+  Arg.(value & opt (some float) None & info [ "slo" ] ~docv:"NS" ~doc)
+
+let duration_arg =
+  let doc =
+    "Serving horizon in simulated nanoseconds: arrivals are generated in \
+     [0, NS)."
+  in
+  Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"NS" ~doc)
+
+let offered_load_arg =
+  let doc =
+    "Rescale the arrival process to this time-average offered load \
+     (queries per second)."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "offered-load" ] ~docv:"QPS" ~doc)
+
+let clients_arg =
+  let doc = "Simulated client populations feeding the arrival process." in
+  Arg.(value & opt (some int) None & info [ "clients" ] ~docv:"N" ~doc)
+
 (* Apply an optional override; absent flags leave the value untouched. *)
 let override v f x = match v with Some v -> f v x | None -> x
 
 let spec_term =
   let build scale queries keys nodes masters batch network seed jobs methods
-      metrics trace_json profile profile_folded tail_k faults =
+      metrics trace_json profile profile_folded tail_k faults arrival slo
+      duration offered_load clients =
     let base =
       match String.lowercase_ascii scale with
       | "paper" -> Ok Workload.Scenario.paper
@@ -170,12 +218,16 @@ let spec_term =
     | Error e, _ | _, Error e -> Error e
     | Ok sc, Ok net ->
         let sc =
-          { sc with Workload.Scenario.net }
-          |> override queries (fun q sc -> { sc with Workload.Scenario.n_queries = q })
-          |> override keys (fun k sc -> { sc with Workload.Scenario.n_keys = k })
-          |> override nodes (fun n sc -> { sc with Workload.Scenario.n_nodes = n })
-          |> override masters (fun m sc -> { sc with Workload.Scenario.n_masters = m })
+          sc
+          |> Workload.Scenario.with_net net
+          |> override queries Workload.Scenario.with_queries
+          |> override keys Workload.Scenario.with_keys
+          |> override nodes Workload.Scenario.with_nodes
+          |> override masters Workload.Scenario.with_masters
           |> override batch (fun b sc -> Workload.Scenario.with_batch sc (kib b))
+          |> override duration Workload.Scenario.with_duration
+          |> override offered_load Workload.Scenario.with_offered_load
+          |> override clients Workload.Scenario.with_clients
         in
         Ok
           (Spec.default
@@ -188,11 +240,14 @@ let spec_term =
           |> (if profile then Spec.with_profile else Fun.id)
           |> override profile_folded Spec.with_profile_folded
           |> Spec.with_tail_k tail_k
-          |> Spec.with_faults faults)
+          |> Spec.with_faults faults
+          |> override arrival Spec.with_arrival
+          |> override slo Spec.with_slo)
   in
   Term.(
     term_result ~usage:true
       (const build $ scale_arg $ queries_arg $ keys_arg $ nodes_arg
      $ masters_arg $ batch_arg $ network_arg $ seed_arg $ jobs_arg
      $ methods_arg $ metrics_arg $ trace_json_arg $ profile_arg
-     $ profile_folded_arg $ tail_arg $ faults_arg))
+     $ profile_folded_arg $ tail_arg $ faults_arg $ arrival_arg $ slo_arg
+     $ duration_arg $ offered_load_arg $ clients_arg))

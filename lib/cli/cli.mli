@@ -13,8 +13,10 @@ val spec_term : Dispatch.Experiment.Spec.t Term.t
 (** [--scale], workload overrides ([--queries], [--keys], [--nodes],
     [--masters], [--batch], [--network], [--seed]), [--jobs],
     [--methods], telemetry outputs ([--metrics], [--trace-json]),
-    profiling ([--profile], [--profile-folded], [--tail]) and fault
-    injection ([--faults], see {!Fault.Spec.parse} for the grammar). *)
+    profiling ([--profile], [--profile-folded], [--tail]), fault
+    injection ([--faults], see {!Fault.Spec.parse} for the grammar) and
+    serving knobs ([--arrival], [--slo], [--duration],
+    [--offered-load], [--clients], see {!Workload.Arrival.parse}). *)
 
 (** {2 Individual arguments} *)
 
@@ -35,3 +37,8 @@ val profile_arg : bool Term.t
 val profile_folded_arg : string option Term.t
 val tail_arg : int Term.t
 val faults_arg : Fault.Spec.t Term.t
+val arrival_arg : Workload.Arrival.t option Term.t
+val slo_arg : float option Term.t
+val duration_arg : float option Term.t
+val offered_load_arg : float option Term.t
+val clients_arg : int option Term.t

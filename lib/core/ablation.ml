@@ -2,15 +2,9 @@ module Spec = Experiment.Spec
 
 let kib n = n * 1024
 
-(* Same compatibility convention as {!Experiment}: explicit [?scenario]
-   overrides the spec's field. *)
-let resolve ?spec ?scenario () =
-  let s = Option.value spec ~default:Spec.default in
-  Option.fold ~none:s ~some:(fun sc -> Spec.with_scenario sc s) scenario
-
-let batch_overhead ?spec ?scenario
-    ?(batches = [ kib 8; kib 32; kib 128; kib 512; kib 2048; kib 4096 ]) () =
-  let spec = resolve ?spec ?scenario () in
+let batch_overhead
+    ?(batches = [ kib 8; kib 32; kib 128; kib 512; kib 2048; kib 4096 ])
+    (spec : Spec.t) =
   let sc = Spec.scenario spec in
   let keys, queries = Runner.workload sc in
   let tbl =
@@ -36,8 +30,7 @@ let batch_overhead ?spec ?scenario
            ]);
   tbl
 
-let network ?spec ?scenario ?profiles () =
-  let spec = resolve ?spec ?scenario () in
+let network ?profiles (spec : Spec.t) =
   let sc = Spec.scenario spec in
   let profiles =
     match profiles with
@@ -84,8 +77,7 @@ let network ?spec ?scenario ?profiles () =
     profiles;
   tbl
 
-let skew ?spec ?scenario ?(exponents = [ 0.0; 0.5; 1.0 ]) () =
-  let spec = resolve ?spec ?scenario () in
+let skew ?(exponents = [ 0.0; 0.5; 1.0 ]) (spec : Spec.t) =
   let sc = Spec.scenario spec in
   let g = Prng.Splitmix.create (sc.Workload.Scenario.seed + 17) in
   let keys =
@@ -142,8 +134,7 @@ let skew ?spec ?scenario ?(exponents = [ 0.0; 0.5; 1.0 ]) () =
     exponents;
   tbl
 
-let masters ?spec ?scenario ?(counts = [ 1; 2; 4 ]) () =
-  let spec = resolve ?spec ?scenario () in
+let masters ?(counts = [ 1; 2; 4 ]) (spec : Spec.t) =
   let sc = Spec.scenario spec in
   let n_slaves = sc.Workload.Scenario.n_nodes - sc.Workload.Scenario.n_masters in
   let slave_keys = (sc.Workload.Scenario.n_keys + n_slaves - 1) / n_slaves in
@@ -188,8 +179,7 @@ let masters ?spec ?scenario ?(counts = [ 1; 2; 4 ]) () =
            ]);
   tbl
 
-let line_size ?spec ?scenario () =
-  let spec = resolve ?spec ?scenario () in
+let line_size (spec : Spec.t) =
   let sc = Spec.scenario spec in
   let machines = [ Cachesim.Mem_params.pentium3; Cachesim.Mem_params.pentium4 ] in
   (* The workload depends only on the seed and counts, not the machine
@@ -232,8 +222,7 @@ let line_size ?spec ?scenario () =
     machines;
   tbl
 
-let hierarchy ?spec ?scenario () =
-  let spec = resolve ?spec ?scenario () in
+let hierarchy (spec : Spec.t) =
   let sc = Spec.scenario spec in
   let keys, queries = Runner.workload sc in
   let tbl =
@@ -284,8 +273,7 @@ let hierarchy ?spec ?scenario () =
            ]);
   tbl
 
-let structures ?spec ?scenario () =
-  let spec = resolve ?spec ?scenario () in
+let structures (spec : Spec.t) =
   let sc = Spec.scenario spec in
   let p = sc.Workload.Scenario.params in
   let g = Prng.Splitmix.create (sc.Workload.Scenario.seed + 31) in
@@ -336,8 +324,7 @@ let structures ?spec ?scenario () =
     resident full;
   tbl
 
-let slave_structure ?spec ?scenario () =
-  let spec = resolve ?spec ?scenario () in
+let slave_structure (spec : Spec.t) =
   let sc = Spec.scenario spec in
   let keys, queries = Runner.workload sc in
   let tbl =

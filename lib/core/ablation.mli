@@ -1,74 +1,51 @@
 (** Ablation studies beyond the paper's figures — each probes one design
     choice or hidden assumption called out in DESIGN.md.
 
-    Every driver accepts a {!Experiment.Spec.t}: [spec.scenario] (and
-    [seed_override]) select the workload, and [spec.jobs] fans the
-    study's simulation grid over that many worker domains via
-    {!Exec.Sweep} — results are collected in submission order, so the
-    table is identical at any worker count.  The bare [?scenario]
-    argument is the pre-[Spec] API, kept for compatibility; it overrides
-    [spec.scenario] when both are given. *)
+    Every driver takes a {!Experiment.Spec.t} positionally:
+    [spec.scenario] (and [seed_override]) select the workload, and
+    [spec.jobs] fans the study's simulation grid over that many worker
+    domains via {!Exec.Sweep} — results are collected in submission
+    order, so the table is identical at any worker count.  Genuinely
+    per-study knobs ([?batches], [?profiles], ...) stay optional. *)
 
 val batch_overhead :
-  ?spec:Experiment.Spec.t ->
-  ?scenario:Workload.Scenario.t ->
-  ?batches:int list ->
-  unit ->
-  Report.Table.t
+  ?batches:int list -> Experiment.Spec.t -> Report.Table.t
 (** Slave idle fraction and message count vs batch size for Method C-3
     (the paper reports 50% idle at 8 KB and 20% at 4 MB). *)
 
 val network :
-  ?spec:Experiment.Spec.t ->
-  ?scenario:Workload.Scenario.t ->
-  ?profiles:Netsim.Profile.t list ->
-  unit ->
-  Report.Table.t
+  ?profiles:Netsim.Profile.t list -> Experiment.Spec.t -> Report.Table.t
 (** Method C-3 under Myrinet / Gigabit Ethernet / Fast Ethernet at several
     batch sizes: tests the paper's claim (§2.2) that slower, higher-latency
     networks need much larger batches. *)
 
-val skew :
-  ?spec:Experiment.Spec.t ->
-  ?scenario:Workload.Scenario.t ->
-  ?exponents:float list ->
-  unit ->
-  Report.Table.t
+val skew : ?exponents:float list -> Experiment.Spec.t -> Report.Table.t
 (** Method C-3 under Zipf-skewed query keys: the paper assumes uniform
     keys; skew unbalances slave load.  Per-exponent query streams are
     split from the scenario PRNG sequentially before the sweep runs, so
     parallelism never changes the workload. *)
 
-val masters :
-  ?spec:Experiment.Spec.t ->
-  ?scenario:Workload.Scenario.t ->
-  ?counts:int list ->
-  unit ->
-  Report.Table.t
+val masters : ?counts:int list -> Experiment.Spec.t -> Report.Table.t
 (** Analytical: per-key cost of C-3 with multiple master nodes (the
     paper's §3.2 remark on master overload). *)
 
-val line_size :
-  ?spec:Experiment.Spec.t -> ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
+val line_size : Experiment.Spec.t -> Report.Table.t
 (** Methods A and C-3 on Pentium III (32 B lines) vs a Pentium 4-like
     profile (128 B lines): the paper argues larger lines widen Method C's
     advantage. *)
 
-val hierarchy :
-  ?spec:Experiment.Spec.t -> ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
+val hierarchy : Experiment.Spec.t -> Report.Table.t
 (** Dispatch-topology comparison over a fixed slave pool: flat single
     master vs replicated masters vs the two-tier router tree of
     {!Method_c_hier} (the paper's T > 2L sketch).  Shows what the extra
     hop costs in response time and what it buys in dispatch capacity. *)
 
-val structures :
-  ?spec:Experiment.Spec.t -> ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
+val structures : Experiment.Spec.t -> Report.Table.t
 (** Per-lookup steady-state cost of every index structure (sorted array,
     Eytzinger, CSB+, n-ary) at slave-partition scale (cache resident) and
     full-index scale (cache overflowed) — quantifies both the paper's
     §4.1 space-pressure claim and the Eytzinger extension. *)
 
-val slave_structure :
-  ?spec:Experiment.Spec.t -> ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
+val slave_structure : Experiment.Spec.t -> Report.Table.t
 (** C-1 vs C-2 vs C-3 head-to-head with per-variant cache statistics —
     the space-pressure explanation of §4.1. *)

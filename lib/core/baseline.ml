@@ -47,7 +47,7 @@ let default_spec ~jobs =
   |> Experiment.Spec.with_jobs jobs
 
 let capture ~spec =
-  let rows = Experiment.fig3 ~spec () in
+  let rows = Experiment.fig3 spec in
   List.concat_map
     (fun { Experiment.batch_bytes = _; results } ->
       List.map

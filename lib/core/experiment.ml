@@ -13,6 +13,8 @@ module Spec = struct
     profile_folded : string option;
     tail_k : int;
     faults : Fault.Spec.t;
+    arrival : Workload.Arrival.t;
+    slo_ns : float;
   }
 
   let default =
@@ -28,6 +30,8 @@ module Spec = struct
       profile_folded = None;
       tail_k = 8;
       faults = Fault.Spec.none;
+      arrival = Workload.Arrival.default;
+      slo_ns = 1e6;
     }
 
   let with_scenario scenario t = { t with scenario }
@@ -41,6 +45,12 @@ module Spec = struct
   let with_profile_folded path t = { t with profile_folded = Some path }
   let with_tail_k k t = { t with tail_k = max 0 k }
   let with_faults faults t = { t with faults }
+  let with_arrival arrival t = { t with arrival }
+
+  let with_slo slo_ns t =
+    if slo_ns <= 0.0 then invalid_arg "Spec.with_slo: budget must be positive";
+    { t with slo_ns }
+
   let profiling t = t.profile || t.profile_folded <> None
   let faulted t = not (Fault.Spec.is_none t.faults)
 
@@ -49,14 +59,6 @@ module Spec = struct
     | None -> t.scenario
     | Some seed -> { t.scenario with Workload.Scenario.seed }
 end
-
-(* Legacy optional arguments fold into a [Spec.t]; an explicit argument
-   wins over the corresponding spec field. *)
-let resolve ?spec ?scenario ?methods ?batches () =
-  let s = Option.value spec ~default:Spec.default in
-  let s = Option.fold ~none:s ~some:(fun sc -> Spec.with_scenario sc s) scenario in
-  let s = Option.fold ~none:s ~some:(fun ms -> Spec.with_methods ms s) methods in
-  Option.fold ~none:s ~some:(fun bs -> Spec.with_batches bs s) batches
 
 (* Wrap a run's body so layer instrumentation (machine sync spans,
    network send instants, in-flight counter samples) lands on a per-run
@@ -175,8 +177,8 @@ let group_height sc ~keys =
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
 
-let table1 ?spec ?scenario () =
-  let sc = Spec.scenario (resolve ?spec ?scenario ()) in
+let table1 (spec : Spec.t) =
+  let sc = Spec.scenario spec in
   let keys, _ = Runner.workload sc in
   let p = sc.Workload.Scenario.params in
   let tree = scratch_tree sc ~keys in
@@ -218,8 +220,8 @@ let table1 ?spec ?scenario () =
     ];
   t
 
-let table2 ?spec ?scenario () =
-  let sc = Spec.scenario (resolve ?spec ?scenario ()) in
+let table2 (spec : Spec.t) =
+  let sc = Spec.scenario spec in
   Calibrate.table2
     (Calibrate.measure sc.Workload.Scenario.params sc.Workload.Scenario.net)
 
@@ -228,8 +230,7 @@ let table2 ?spec ?scenario () =
 
 type fig3_row = { batch_bytes : int; results : Run_result.t list }
 
-let fig3 ?spec ?scenario ?methods ?batches () =
-  let spec = resolve ?spec ?scenario ?methods ?batches () in
+let fig3 (spec : Spec.t) =
   let sc = Spec.scenario spec in
   let keys, queries = Runner.workload sc in
   (* One job per (batch, method) grid cell; each job builds its own
@@ -357,8 +358,7 @@ type table3_row = {
   run : Run_result.t;
 }
 
-let table3 ?spec ?scenario () =
-  let spec = resolve ?spec ?scenario () in
+let table3 (spec : Spec.t) =
   let sc = Spec.scenario spec in
   let keys, queries = Runner.workload sc in
   let p = sc.Workload.Scenario.params in
@@ -434,8 +434,8 @@ type fig4_row = {
   c3_mm_ns : float;
 }
 
-let fig4 ?spec ?scenario ?(years = 5) () =
-  let sc = Spec.scenario (resolve ?spec ?scenario ()) in
+let fig4 ?(years = 5) (spec : Spec.t) =
+  let sc = Spec.scenario spec in
   let keys, _ = Runner.workload sc in
   let nodes = sc.Workload.Scenario.n_nodes in
   let n_slaves = nodes - 1 in
@@ -462,8 +462,7 @@ let fig4 ?spec ?scenario ?(years = 5) () =
             ~n_slaves;
       })
 
-let timeline_traced ?spec ?scenario ?(method_id = Methods.C3) () =
-  let spec = resolve ?spec ?scenario () in
+let timeline_traced ?(method_id = Methods.C3) (spec : Spec.t) =
   let sc = Spec.scenario spec in
   (* A short slice keeps the chart readable: ~6 batches worth or 32k
      queries, whichever is larger. *)
@@ -490,8 +489,7 @@ let timeline_traced ?spec ?scenario ?(method_id = Methods.C3) () =
   in
   (rendered, r)
 
-let timeline ?spec ?scenario ?method_id () =
-  fst (timeline_traced ?spec ?scenario ?method_id ())
+let timeline ?method_id spec = fst (timeline_traced ?method_id spec)
 
 let render_fig4 rows =
   let tbl =

@@ -12,10 +12,10 @@
     [spec.jobs] worker domains; results are collected in submission
     order, so output is byte-identical at any [jobs] value.
 
-    The bare [?scenario]/[?methods]/[?batches] optional arguments are
-    the pre-[Spec] API, kept as a thin compatibility layer; an explicit
-    argument overrides the corresponding field of [?spec].  New code
-    should build a [Spec.t] instead. *)
+    Every driver takes a [Spec.t] positionally — build one with the
+    [with_*] builders from {!Spec.default}.  (The pre-[Spec]
+    [?scenario]/[?methods]/[?batches] optional arguments are gone;
+    genuinely per-call knobs like [fig4]'s [?years] stay optional.) *)
 
 (** {2 Run specification} *)
 
@@ -49,6 +49,13 @@ module Spec : sig
             Default {!Fault.Spec.none}: the drivers take exactly the
             fault-free code paths and outputs are byte-identical to a
             spec without the field. *)
+    arrival : Workload.Arrival.t;
+        (** Arrival process for {!Serve} runs (ignored by batch
+            sweeps).  Default [poisson:rate=1e6].  The scenario's
+            offered-load override, when set, rescales it. *)
+    slo_ns : float;
+        (** Response-time budget for {!Serve} SLO accounting, simulated
+            nanoseconds (default 1e6 = 1 ms). *)
   }
 
   val default : t
@@ -69,6 +76,10 @@ module Spec : sig
   val with_profile_folded : string -> t -> t
   val with_tail_k : int -> t -> t
   val with_faults : Fault.Spec.t -> t -> t
+  val with_arrival : Workload.Arrival.t -> t -> t
+
+  val with_slo : float -> t -> t
+  (** Must be positive. *)
 
   val faulted : t -> bool
   (** A non-[none] fault spec is set — degraded-run columns and manifest
@@ -85,25 +96,17 @@ end
 
 (** {2 Table 1 — index structure setup} *)
 
-val table1 :
-  ?spec:Spec.t -> ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
+val table1 : Spec.t -> Report.Table.t
 
 (** {2 Table 2 — measured machine parameters} *)
 
-val table2 :
-  ?spec:Spec.t -> ?scenario:Workload.Scenario.t -> unit -> Report.Table.t
+val table2 : Spec.t -> Report.Table.t
 
 (** {2 Figure 3 — search time vs batch size for all five methods} *)
 
 type fig3_row = { batch_bytes : int; results : Run_result.t list }
 
-val fig3 :
-  ?spec:Spec.t ->
-  ?scenario:Workload.Scenario.t ->
-  ?methods:Methods.id list ->
-  ?batches:int list ->
-  unit ->
-  fig3_row list
+val fig3 : Spec.t -> fig3_row list
 (** Runs every method at every batch size on one shared workload,
     fanning the (batch x method) grid over [spec.jobs] worker domains.
     Defaults: all five methods over the paper's 8 KB - 4 MB sweep,
@@ -124,8 +127,7 @@ type table3_row = {
   run : Run_result.t;  (** The full simulated run behind [simulated_ns]. *)
 }
 
-val table3 :
-  ?spec:Spec.t -> ?scenario:Workload.Scenario.t -> unit -> table3_row list
+val table3 : Spec.t -> table3_row list
 (** Methods A, B and C-3 at the scenario batch size (paper: 128 KB);
     the three simulations run as one pool sweep. *)
 
@@ -147,34 +149,19 @@ type fig4_row = {
           saturates at the master NIC floor instead. *)
 }
 
-val fig4 :
-  ?spec:Spec.t ->
-  ?scenario:Workload.Scenario.t ->
-  ?years:int ->
-  unit ->
-  fig4_row list
+val fig4 : ?years:int -> Spec.t -> fig4_row list
 (** Years 0..[years] (default 5), scaling parameters per Section 4.2. *)
 
 val render_fig4 : fig4_row list -> string
 
 (** {2 Timeline} *)
 
-val timeline :
-  ?spec:Spec.t ->
-  ?scenario:Workload.Scenario.t ->
-  ?method_id:Methods.id ->
-  unit ->
-  string
+val timeline : ?method_id:Methods.id -> Spec.t -> string
 (** Run one (query-trimmed) simulation with span tracing enabled and
     render a Gantt chart of per-node CPU busy time — the visual twin of
     the paper's slave-idle observations in §4.1. *)
 
-val timeline_traced :
-  ?spec:Spec.t ->
-  ?scenario:Workload.Scenario.t ->
-  ?method_id:Methods.id ->
-  unit ->
-  string * Run_result.t
+val timeline_traced : ?method_id:Methods.id -> Spec.t -> string * Run_result.t
 (** {!timeline}, also returning the run itself with its recorded trace
     attached ([run.trace = Some _]) for metrics/trace export. *)
 

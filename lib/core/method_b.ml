@@ -83,4 +83,5 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
     trace = None;
     profile = None;
     degraded = Run_result.no_degradation;
+    serving = None;
   }

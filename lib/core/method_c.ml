@@ -353,4 +353,5 @@ let run ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries =
     trace = None;
     profile = None;
     degraded;
+    serving = None;
   }

@@ -441,4 +441,5 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ?faults ~variant ~keys
       (match fo with
       | None -> Run_result.no_degradation
       | Some f -> Failover.degraded f);
+    serving = None;
   }

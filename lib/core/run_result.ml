@@ -27,6 +27,23 @@ let no_degradation =
 
 let is_degraded d = d <> no_degradation
 
+type serving = {
+  arrival : string;
+  offered_qps : float;
+  duration_ns : float;
+  arrived : int;
+  completed : int;
+  achieved_qps : float;
+  mean_queue_ns : float;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+  slo_ns : float;
+  violations : int;
+}
+
 type t = {
   method_id : Methods.id;
   scenario : string;
@@ -49,9 +66,46 @@ type t = {
   trace : Simcore.Trace.t option;
   profile : Obs.Profile.t option;
   degraded : degraded;
+  serving : serving option;
 }
 
 let per_key_ns t = t.per_key_ns
+
+let violation_rate (s : serving) =
+  if s.arrived = 0 then 0.0
+  else float_of_int s.violations /. float_of_int s.arrived
+
+let serving_header =
+  [
+    "method"; "scenario"; "arrival"; "offered_qps"; "duration_ns"; "arrived";
+    "completed"; "achieved_qps"; "mean_queue_ns"; "mean_response_ns";
+    "p50_ns"; "p95_ns"; "p99_ns"; "max_ns"; "slo_ns"; "violations";
+    "violation_rate"; "messages"; "master_busy"; "slave_idle";
+  ]
+
+let serving_cells t (s : serving) =
+  [
+    Methods.to_string t.method_id;
+    t.scenario;
+    s.arrival;
+    Printf.sprintf "%.1f" s.offered_qps;
+    Printf.sprintf "%.0f" s.duration_ns;
+    string_of_int s.arrived;
+    string_of_int s.completed;
+    Printf.sprintf "%.1f" s.achieved_qps;
+    Printf.sprintf "%.1f" s.mean_queue_ns;
+    Printf.sprintf "%.1f" s.mean_ns;
+    Printf.sprintf "%.1f" s.p50_ns;
+    Printf.sprintf "%.1f" s.p95_ns;
+    Printf.sprintf "%.1f" s.p99_ns;
+    Printf.sprintf "%.1f" s.max_ns;
+    Printf.sprintf "%.0f" s.slo_ns;
+    string_of_int s.violations;
+    Printf.sprintf "%.6f" (violation_rate s);
+    string_of_int t.messages;
+    Printf.sprintf "%.4f" t.master_busy;
+    Printf.sprintf "%.4f" t.slave_idle;
+  ]
 
 let completeness t =
   if t.n_queries = 0 then 1.0

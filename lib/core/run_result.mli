@@ -27,6 +27,36 @@ val no_degradation : degraded
 
 val is_degraded : degraded -> bool
 
+type serving = {
+  arrival : string;  (** Rendered {!Workload.Arrival} spec of the run. *)
+  offered_qps : float;
+      (** Measured offered load: arrivals per second of horizon. *)
+  duration_ns : float;  (** Arrival horizon. *)
+  arrived : int;
+  completed : int;  (** [arrived] minus queries lost to faults. *)
+  achieved_qps : float;
+      (** Saturation throughput: completions per second of makespan
+          (first arrival to last delivery).  Tracks [offered_qps] until
+          the method saturates, then flatlines at its capacity. *)
+  mean_queue_ns : float;
+      (** Mean admission-to-service-start wait — the open-loop queueing
+          delay batch sweeps cannot see. *)
+  mean_ns : float;  (** Mean response (admission to delivery). *)
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;  (** Exact order-statistic response quantiles. *)
+  max_ns : float;
+  slo_ns : float;  (** The run's response-time budget. *)
+  violations : int;
+      (** Completed responses over budget, plus queries never answered
+          (lost to faults): an unanswered query is an SLO violation. *)
+}
+(** Rollup of one online-serving run ({!Serve}): what the SLO report
+    renders and the golden CSVs pin down. *)
+
+val violation_rate : serving -> float
+(** [violations / arrived]; [0.] when nothing arrived. *)
+
 type t = {
   method_id : Methods.id;
   scenario : string;
@@ -76,6 +106,9 @@ type t = {
           inspector.  [None] otherwise. *)
   degraded : degraded;
       (** {!no_degradation} unless the run carried a fault plan. *)
+  serving : serving option;
+      (** The serving rollup for {!Serve} runs; [None] for batch
+          sweeps, whose output stays byte-identical to before. *)
 }
 
 val per_key_ns : t -> float
@@ -88,6 +121,11 @@ val scaled_total_s : t -> queries:int -> float
 
 val completeness : t -> float
 (** Fraction of queries answered (1.0 unless queries were lost). *)
+
+val serving_header : string list
+(** CSV column names matching {!serving_cells}. *)
+
+val serving_cells : t -> serving -> string list
 
 val pp : Format.formatter -> t -> unit
 (** Appends a degradation line when [is_degraded t.degraded]. *)

@@ -1,0 +1,707 @@
+open Simcore
+
+type report = {
+  run : Run_result.t;
+  serving : Run_result.serving;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Workload: keys / per-arrival queries / admission timestamps.  Three
+   independent splits of the scenario seed: the first matches
+   [Runner.workload]'s key stream (identical index), the rest are new,
+   so adding serving never perturbs the batch drivers' streams. *)
+
+let effective (sc : Workload.Scenario.t) arrival =
+  match sc.Workload.Scenario.offered_qps with
+  | Some qps -> Workload.Arrival.scale_to arrival ~offered_qps:qps
+  | None -> arrival
+
+let generate_workload (sc : Workload.Scenario.t) arrival =
+  let g = Prng.Splitmix.create sc.Workload.Scenario.seed in
+  let g_keys = Prng.Splitmix.split g in
+  let _g_batch_queries = Prng.Splitmix.split g in
+  let g_arrivals = Prng.Splitmix.split g in
+  let g_queries = Prng.Splitmix.split g in
+  let keys = Workload.Keygen.index_keys g_keys ~n:sc.Workload.Scenario.n_keys in
+  let arrivals =
+    Workload.Arrival.generate arrival
+      ~seed:(Prng.Splitmix.bits30 g_arrivals)
+      ~clients:sc.Workload.Scenario.clients
+      ~duration_ns:sc.Workload.Scenario.duration_ns
+  in
+  let queries =
+    Workload.Keygen.uniform_queries g_queries ~n:(Array.length arrivals)
+  in
+  (keys, queries, arrivals)
+
+let workload sc ~arrival = generate_workload sc (effective sc arrival)
+
+(* Deal arrivals round-robin over [parts] engines: part [p] serves
+   global indices [p, p+parts, ...], which interleaves every part
+   through the whole horizon (a contiguous split would leave all but
+   one part idle at any moment). *)
+let round_robin n parts =
+  Array.init parts (fun p ->
+      Array.init ((n - p + parts - 1) / parts) (fun j -> p + (j * parts)))
+
+(* ------------------------------------------------------------------ *)
+(* SLO rollup over the admission / service-start / delivery
+   timestamps.  Quantiles are exact (nearest-rank over the sorted
+   response array): serving runs are small enough that no sketch is
+   needed, and golden CSVs want exactness. *)
+
+let rollup ~arrival ~slo_ns ~(sc : Workload.Scenario.t) ~arrivals ~start_at
+    ~done_at =
+  let n = Array.length arrivals in
+  let resp = Array.make (max 1 n) 0.0 in
+  let completed = ref 0 in
+  let queue_sum = ref 0.0 in
+  let last_done = ref 0.0 in
+  for i = 0 to n - 1 do
+    if done_at.(i) >= 0.0 then begin
+      resp.(!completed) <- done_at.(i) -. arrivals.(i);
+      queue_sum := !queue_sum +. (start_at.(i) -. arrivals.(i));
+      if done_at.(i) > !last_done then last_done := done_at.(i);
+      incr completed
+    end
+  done;
+  let c = !completed in
+  let sorted = Array.sub resp 0 c in
+  Array.sort compare sorted;
+  let quantile p =
+    if c = 0 then 0.0
+    else
+      sorted.(min (c - 1) (max 0 (int_of_float (ceil (p *. float_of_int c)) - 1)))
+  in
+  let over = ref 0 in
+  Array.iter (fun r -> if r > slo_ns then incr over) sorted;
+  let mean =
+    if c = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 sorted /. float_of_int c
+  in
+  let duration_ns = sc.Workload.Scenario.duration_ns in
+  {
+    Run_result.arrival = Workload.Arrival.to_string arrival;
+    offered_qps =
+      (if duration_ns > 0.0 then float_of_int n *. 1e9 /. duration_ns else 0.0);
+    duration_ns;
+    arrived = n;
+    completed = c;
+    achieved_qps =
+      (if !last_done > 0.0 then float_of_int c *. 1e9 /. !last_done else 0.0);
+    mean_queue_ns = (if c = 0 then 0.0 else !queue_sum /. float_of_int c);
+    mean_ns = mean;
+    p50_ns = quantile 0.5;
+    p95_ns = quantile 0.95;
+    p99_ns = quantile 0.99;
+    max_ns = (if c = 0 then 0.0 else sorted.(c - 1));
+    slo_ns;
+    violations = !over + (n - c);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Method A: replicated tree on every node, arrivals dealt round-robin,
+   one timed traversal per query.  The per-query [sync] is what lets a
+   node fall visibly behind: accumulated lookup cost pushes the clock
+   past the next admission time and the gap is queueing delay. *)
+
+let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
+    ~done_at ~finish =
+  let params = sc.Workload.Scenario.params in
+  let n_nodes = sc.Workload.Scenario.n_nodes in
+  let n = Array.length arrivals in
+  let eng = Engine.create () in
+  let machines =
+    Array.init n_nodes (fun i ->
+        Machine.create eng ~name:(Printf.sprintf "node%d" i) params)
+  in
+  let trees = Array.map (fun m -> Index.Nary_tree.build m keys) machines in
+  let assign = round_robin n n_nodes in
+  let lat = Latency.create () in
+  let errors = ref 0 in
+  let r_bases = Array.make n_nodes 0 in
+  Array.iteri
+    (fun node my ->
+      let m = machines.(node) in
+      let cnt = Array.length my in
+      let q_base = Machine.alloc m (max 1 cnt) in
+      let r_base = Machine.alloc m (max 1 cnt) in
+      r_bases.(node) <- r_base;
+      Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
+      Machine.set_phase m "serve";
+      Engine.spawn eng ~name:(Printf.sprintf "node%d" node) (fun () ->
+          Array.iteri
+            (fun j qid ->
+              Machine.sync m;
+              let t = arrivals.(qid) in
+              let now = Engine.now eng in
+              if now < t then Engine.delay eng (t -. now);
+              start_at.(qid) <- Engine.now eng;
+              let q = Machine.read m (q_base + j) in
+              let rank = Index.Nary_tree.search trees.(node) q in
+              Machine.write m (r_base + j) rank;
+              Machine.sync m;
+              let fin = Engine.now eng in
+              done_at.(qid) <- fin;
+              Latency.add lat (fin -. t))
+            my))
+    assign;
+  Engine.run eng;
+  Array.iteri
+    (fun node my ->
+      Array.iteri
+        (fun j qid ->
+          if
+            Machine.peek machines.(node) (r_bases.(node) + j)
+            <> Index.Ref_impl.rank keys queries.(qid)
+          then incr errors)
+        my)
+    assign;
+  let raw = Engine.now eng in
+  let idle =
+    Array.fold_left
+      (fun acc m -> acc +. (1.0 -. (Machine.busy_ns m /. raw)))
+      0.0 machines
+    /. float_of_int n_nodes
+  in
+  {
+    Run_result.method_id = Methods.A;
+    scenario = sc.Workload.Scenario.name;
+    n_queries = n;
+    n_nodes;
+    batch_bytes = sc.Workload.Scenario.batch_bytes;
+    total_ns = raw;
+    raw_ns = raw;
+    per_key_ns = raw /. float_of_int (max 1 n);
+    slave_idle = idle;
+    master_busy = 0.0;
+    messages = 0;
+    bytes_sent = 0;
+    validation_errors = !errors;
+    cache =
+      Array.fold_left
+        (fun acc m ->
+          Cachesim.Hierarchy.add_stats acc
+            (Cachesim.Hierarchy.stats (Machine.hierarchy m)))
+        Cachesim.Hierarchy.zero_stats machines;
+    overflow_flushes = 0;
+    mean_response_ns = Latency.mean lat;
+    p95_response_ns = Latency.percentile lat 0.95;
+    metrics =
+      Telemetry.snapshot ~eng ~machines ~latency:lat ~validation_errors:!errors
+        ();
+    trace = None;
+    profile = None;
+    degraded = Run_result.no_degradation;
+    serving = Some (finish ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Method B: greedy batching per node.  Each node waits for its next
+   query, then drains everything that has arrived in the meantime (up
+   to the buffer capacity) through one buffered-tree pass; every
+   member of the pass is delivered when the pass ends.  At low load
+   batches are singletons (no added latency); as load rises the batch
+   grows and amortizes, which is exactly the buffered method's
+   batch-size/latency tension under live traffic. *)
+
+let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
+    ~done_at ~finish =
+  let params = sc.Workload.Scenario.params in
+  let n_nodes = sc.Workload.Scenario.n_nodes in
+  let batch_keys = Workload.Scenario.queries_per_batch sc in
+  let n = Array.length arrivals in
+  let eng = Engine.create () in
+  let machines =
+    Array.init n_nodes (fun i ->
+        Machine.create eng ~name:(Printf.sprintf "node%d" i) params)
+  in
+  let buffered =
+    Array.map
+      (fun m ->
+        Index.Buffered.create ~max_batch:batch_keys (Index.Nary_tree.build m keys))
+      machines
+  in
+  let assign = round_robin n n_nodes in
+  let lat = Latency.create () in
+  let errors = ref 0 in
+  let r_bases = Array.make n_nodes 0 in
+  Array.iteri
+    (fun node my ->
+      let m = machines.(node) in
+      let cnt = Array.length my in
+      let q_base = Machine.alloc m (max 1 cnt) in
+      let r_base = Machine.alloc m (max 1 cnt) in
+      r_bases.(node) <- r_base;
+      Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
+      Machine.set_phase m "serve";
+      Engine.spawn eng ~name:(Printf.sprintf "node%d" node) (fun () ->
+          let pos = ref 0 in
+          while !pos < cnt do
+            Machine.sync m;
+            let t0 = arrivals.(my.(!pos)) in
+            let now = Engine.now eng in
+            if now < t0 then Engine.delay eng (t0 -. now);
+            let started = Engine.now eng in
+            let j = ref (!pos + 1) in
+            while
+              !j < cnt && !j - !pos < batch_keys
+              && arrivals.(my.(!j)) <= started
+            do
+              incr j
+            done;
+            let len = !j - !pos in
+            for k = !pos to !j - 1 do
+              start_at.(my.(k)) <- started
+            done;
+            Index.Buffered.process_batch buffered.(node)
+              ~queries:(q_base + !pos) ~results:(r_base + !pos) ~n:len;
+            Machine.sync m;
+            let fin = Engine.now eng in
+            for k = !pos to !j - 1 do
+              let qid = my.(k) in
+              done_at.(qid) <- fin;
+              Latency.add lat (fin -. arrivals.(qid))
+            done;
+            pos := !j
+          done))
+    assign;
+  Engine.run eng;
+  Array.iteri
+    (fun node my ->
+      Array.iteri
+        (fun j qid ->
+          if
+            Machine.peek machines.(node) (r_bases.(node) + j)
+            <> Index.Ref_impl.rank keys queries.(qid)
+          then incr errors)
+        my)
+    assign;
+  let raw = Engine.now eng in
+  let idle =
+    Array.fold_left
+      (fun acc m -> acc +. (1.0 -. (Machine.busy_ns m /. raw)))
+      0.0 machines
+    /. float_of_int n_nodes
+  in
+  {
+    Run_result.method_id = Methods.B;
+    scenario = sc.Workload.Scenario.name;
+    n_queries = n;
+    n_nodes;
+    batch_bytes = sc.Workload.Scenario.batch_bytes;
+    total_ns = raw;
+    raw_ns = raw;
+    per_key_ns = raw /. float_of_int (max 1 n);
+    slave_idle = idle;
+    master_busy = 0.0;
+    messages = 0;
+    bytes_sent = 0;
+    validation_errors = !errors;
+    cache =
+      Array.fold_left
+        (fun acc m ->
+          Cachesim.Hierarchy.add_stats acc
+            (Cachesim.Hierarchy.stats (Machine.hierarchy m)))
+        Cachesim.Hierarchy.zero_stats machines;
+    overflow_flushes =
+      Array.fold_left
+        (fun acc b -> acc + Index.Buffered.overflow_flushes b)
+        0 buffered;
+    mean_response_ns = Latency.mean lat;
+    p95_response_ns = Latency.percentile lat 0.95;
+    metrics =
+      Telemetry.snapshot ~eng ~machines ~latency:lat ~validation_errors:!errors
+        ();
+    trace = None;
+    profile = None;
+    degraded = Run_result.no_degradation;
+    serving = Some (finish ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Method C: live master dispatch over the distributed in-cache index.
+   Mirrors [Method_c.run]'s node layout, protocol and failover exactly;
+   the serving differences are (a) per-query admission pacing with a
+   flush-everything-before-going-idle rule, so buffer residence never
+   outlives the backlog, and (b) per-query response timestamps measured
+   from admission, not from the master read.  The master's serial
+   dispatch loop plus its single NIC are the funnel every query passes
+   through — this is where C saturates first. *)
+
+let serve_c ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries
+    ~arrivals ~start_at ~done_at ~finish =
+  let params = sc.Workload.Scenario.params in
+  let net_profile = sc.Workload.Scenario.net in
+  let n_nodes = sc.Workload.Scenario.n_nodes in
+  let n_masters = sc.Workload.Scenario.n_masters in
+  if n_masters < 1 then invalid_arg "Serve: need at least one master";
+  if n_nodes < n_masters + 1 then invalid_arg "Serve: need a master and a slave";
+  let n_slaves = n_nodes - n_masters in
+  let n = Array.length arrivals in
+  let batch_keys = Workload.Scenario.queries_per_batch sc in
+  let eng = Engine.create () in
+  let plan =
+    match faults with
+    | Some spec when not (Fault.Spec.is_none spec) ->
+        Some (Fault.Plan.create spec ~seed:sc.Workload.Scenario.seed)
+    | _ -> None
+  in
+  let net = Netsim.Network.create ?faults:plan eng net_profile ~nodes:n_nodes in
+  let part = Partition.make ~keys ~parts:n_slaves in
+  let word = params.Cachesim.Mem_params.word_bytes in
+  let overhead = net_profile.Netsim.Profile.host_overhead_ns in
+  let masters =
+    Array.init n_masters (fun i ->
+        Machine.create eng ~name:(Printf.sprintf "master%d" i) params)
+  in
+  let slaves =
+    Array.init n_slaves (fun s ->
+        Machine.create eng ~name:(Printf.sprintf "slave%d" s) params)
+  in
+  let slave_idx =
+    Array.init n_slaves (fun s ->
+        Slave_node.build variant slaves.(s) (Partition.slice part s)
+          ~batch_keys ~params)
+  in
+  let assign = round_robin n n_masters in
+  let expected = Array.map (fun q -> Index.Ref_impl.rank keys q) queries in
+  let errors = ref 0 in
+  let lat = Latency.create () in
+  let next_batch_id = ref 0 in
+  let in_flight : (int, Failover.pending) Hashtbl.t = Hashtbl.create 256 in
+  let fo =
+    match plan with
+    | None -> None
+    | Some p ->
+        let timeout_default =
+          8.0
+          *. (net_profile.Netsim.Profile.latency_ns
+             +. Netsim.Profile.transfer_ns net_profile
+                  sc.Workload.Scenario.batch_bytes
+             +. net_profile.Netsim.Profile.host_overhead_ns)
+        in
+        Some (Failover.create p ~timeout_default ~nodes:n_nodes)
+  in
+  let fallback_idx =
+    match fo with
+    | None -> [||]
+    | Some _ -> Array.map (fun m -> Index.Sorted_array.build m keys) masters
+  in
+  let spawn_master mi =
+    let m = masters.(mi) in
+    let delims = Index.Sorted_array.build m (Partition.delimiters part) in
+    let my = assign.(mi) in
+    let cnt = Array.length my in
+    let q_base = Machine.alloc m (max 1 cnt) in
+    Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
+    let out_bufs = Array.init n_slaves (fun _ -> Machine.alloc m batch_keys) in
+    let out_lens = Array.make n_slaves 0 in
+    let out_qids = Array.init n_slaves (fun _ -> Array.make batch_keys 0) in
+    let flush s =
+      let len = out_lens.(s) in
+      if len > 0 then begin
+        Machine.sync m;
+        Machine.set_phase m "batch_xfer";
+        Machine.compute m overhead;
+        Machine.sync m;
+        let payload =
+          Array.init len (fun j -> Machine.peek m (out_bufs.(s) + j))
+        in
+        let id = !next_batch_id in
+        incr next_batch_id;
+        Hashtbl.add in_flight id
+          (Failover.make_pending
+             ~qids:(Array.sub out_qids.(s) 0 len)
+             ~payload ~dst:(n_masters + s) ~home:mi ~now:(Engine.now eng));
+        Netsim.Network.isend net ~src:mi ~dst:(n_masters + s)
+          ~tag:Proto.data_tag ~phase:"batch_xfer" ~size:(len * word)
+          (Proto.Data (id, payload));
+        Machine.set_phase m "dispatch";
+        out_lens.(s) <- 0
+      end
+    in
+    let cap = max 1 (batch_keys / n_slaves) in
+    Machine.set_phase m "dispatch";
+    Engine.spawn eng ~name:(Printf.sprintf "master%d" mi) (fun () ->
+        for j = 0 to cnt - 1 do
+          let qid = my.(j) in
+          let t = arrivals.(qid) in
+          Machine.sync m;
+          if Engine.now eng < t then begin
+            (* About to go idle: ship the partial buffers first so no
+               already-admitted query waits out the lull, then sleep to
+               the next admission. *)
+            for s = 0 to n_slaves - 1 do
+              flush s
+            done;
+            Machine.sync m;
+            let now = Engine.now eng in
+            if now < t then Engine.delay eng (t -. now)
+          end;
+          start_at.(qid) <- Engine.now eng;
+          let q = Machine.read m (q_base + j) in
+          let s = Index.Sorted_array.search delims q in
+          Machine.write m (out_bufs.(s) + out_lens.(s)) q;
+          out_qids.(s).(out_lens.(s)) <- qid;
+          out_lens.(s) <- out_lens.(s) + 1;
+          if out_lens.(s) = cap then flush s
+        done;
+        for s = 0 to n_slaves - 1 do
+          flush s
+        done;
+        Machine.sync m;
+        for s = 0 to n_slaves - 1 do
+          Netsim.Network.isend net ~src:mi ~dst:(n_masters + s)
+            ~tag:Proto.term_tag ~phase:"control" ~size:0 Proto.Term
+        done)
+  in
+  for mi = 0 to n_masters - 1 do
+    spawn_master mi
+  done;
+  for s = 0 to n_slaves - 1 do
+    Slave_node.spawn eng net slaves.(s) ~node:(n_masters + s)
+      ~terms_expected:n_masters ~batch_keys ~index:slave_idx.(s)
+      ~reply_dst:(fun ~src -> src) ~overhead_ns:overhead ?faults:plan ()
+  done;
+  (* Validate a reply's ranks and record delivery against admission. *)
+  let record_reply ~s ~qids ~ranks =
+    if Array.length qids <> Array.length ranks then incr errors
+    else
+      Array.iteri
+        (fun j rank ->
+          let qid = qids.(j) in
+          if Partition.base part s + rank <> expected.(qid) then incr errors;
+          let fin = Engine.now eng in
+          done_at.(qid) <- fin;
+          Latency.add lat (fin -. arrivals.(qid)))
+        ranks
+  in
+  (match fo with
+  | None ->
+      for mi = 0 to n_masters - 1 do
+        let quota = Array.length assign.(mi) in
+        Engine.spawn eng ~name:(Printf.sprintf "target%d" mi) (fun () ->
+            let remaining = ref quota in
+            while !remaining > 0 do
+              let env = Netsim.Network.recv net ~dst:mi in
+              match env.Netsim.Network.payload with
+              | Proto.Reply (id, ranks) ->
+                  let s = env.Netsim.Network.src - n_masters in
+                  (match Hashtbl.find_opt in_flight id with
+                  | None -> incr errors
+                  | Some p ->
+                      Hashtbl.remove in_flight id;
+                      record_reply ~s ~qids:p.Failover.qids ~ranks);
+                  remaining := !remaining - Array.length ranks
+              | Proto.Data _ | Proto.Term ->
+                  failwith "serve target received a non-reply"
+            done)
+      done
+  | Some fo ->
+      let fplan = Failover.plan fo in
+      let rem = Array.map Array.length assign in
+      let resend id (p : Failover.pending) =
+        Netsim.Network.isend net ~src:p.Failover.home ~dst:p.Failover.dst
+          ~tag:Proto.data_tag ~phase:"retry"
+          ~size:(Array.length p.Failover.payload * word)
+          (Proto.Data (id, p.Failover.payload))
+      in
+      let redispatch _id (p : Failover.pending) =
+        let len = Array.length p.Failover.qids in
+        if Fault.Plan.fallback fplan then begin
+          let m = masters.(p.Failover.home) in
+          let fb = fallback_idx.(p.Failover.home) in
+          Machine.set_phase m "redispatch";
+          Array.iteri
+            (fun j q ->
+              let rank = Index.Sorted_array.search fb q in
+              if rank <> expected.(p.Failover.qids.(j)) then incr errors)
+            p.Failover.payload;
+          Machine.sync m;
+          Machine.set_phase m "dispatch";
+          Failover.note_fallback fo len;
+          Array.iter
+            (fun qid ->
+              let fin = Engine.now eng in
+              done_at.(qid) <- fin;
+              Latency.add lat (fin -. arrivals.(qid)))
+            p.Failover.qids
+        end
+        else Failover.note_lost fo ~queries:len;
+        rem.(p.Failover.home) <- rem.(p.Failover.home) - len
+      in
+      for mi = 0 to n_masters - 1 do
+        Engine.spawn eng ~name:(Printf.sprintf "target%d" mi) (fun () ->
+            while rem.(mi) > 0 do
+              (match
+                 Netsim.Network.recv_timeout net ~dst:mi
+                   ~timeout_ns:(Failover.timeout_ns fo)
+               with
+              | Some env -> (
+                  match env.Netsim.Network.payload with
+                  | Proto.Reply (id, ranks) -> (
+                      let s = env.Netsim.Network.src - n_masters in
+                      match Hashtbl.find_opt in_flight id with
+                      | None -> ()
+                      | Some p ->
+                          Hashtbl.remove in_flight id;
+                          record_reply ~s ~qids:p.Failover.qids ~ranks;
+                          rem.(mi) <- rem.(mi) - Array.length ranks)
+                  | Proto.Data _ | Proto.Term ->
+                      failwith "serve target received a non-reply")
+              | None -> ());
+              Failover.sweep fo ~now:(Engine.now eng) ~in_flight ~resend
+                ~redispatch
+            done;
+            Failover.note_finish fo ~now:(Engine.now eng))
+      done);
+  Engine.run eng;
+  let raw =
+    match fo with
+    | None -> Engine.now eng
+    | Some f ->
+        let fa = Failover.finish_at f in
+        if fa > 0.0 then fa else Engine.now eng
+  in
+  if Hashtbl.length in_flight <> 0 then incr errors;
+  let idle_sum = ref 0.0 in
+  Array.iter
+    (fun m -> idle_sum := !idle_sum +. (1.0 -. (Machine.busy_ns m /. raw)))
+    slaves;
+  let master_busy =
+    Array.fold_left (fun acc m -> acc +. (Machine.busy_ns m /. raw)) 0.0 masters
+    /. float_of_int n_masters
+  in
+  let sum_stats ms =
+    Array.fold_left
+      (fun acc m ->
+        Cachesim.Hierarchy.add_stats acc
+          (Cachesim.Hierarchy.stats (Machine.hierarchy m)))
+      Cachesim.Hierarchy.zero_stats ms
+  in
+  let degraded =
+    match fo with
+    | None -> Run_result.no_degradation
+    | Some f -> Failover.degraded f
+  in
+  {
+    Run_result.method_id = variant;
+    scenario = sc.Workload.Scenario.name;
+    n_queries = n;
+    n_nodes;
+    batch_bytes = sc.Workload.Scenario.batch_bytes;
+    total_ns = raw;
+    raw_ns = raw;
+    per_key_ns = raw /. float_of_int (max 1 n);
+    slave_idle = !idle_sum /. float_of_int n_slaves;
+    master_busy;
+    messages = Netsim.Network.messages_sent net;
+    bytes_sent = Netsim.Network.bytes_sent net;
+    validation_errors = !errors;
+    cache = Cachesim.Hierarchy.add_stats (sum_stats masters) (sum_stats slaves);
+    overflow_flushes =
+      Array.fold_left
+        (fun acc i -> acc + Slave_node.overflow_flushes i)
+        0 slave_idx;
+    mean_response_ns = Latency.mean lat;
+    p95_response_ns = Latency.percentile lat 0.95;
+    metrics =
+      Telemetry.snapshot ~eng ~net ~machines:(Array.append masters slaves)
+        ~latency:lat ~validation_errors:!errors
+        ?degraded:(match fo with None -> None | Some _ -> Some degraded)
+        ();
+    trace = None;
+    profile = None;
+    degraded;
+    serving = Some (finish ());
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let run_method ?faults (sc : Workload.Scenario.t) ~arrival ~slo_ns ~method_id
+    ~keys ~queries ~arrivals =
+  let n = Array.length arrivals in
+  let start_at = Array.make (max 1 n) 0.0 in
+  let done_at = Array.make (max 1 n) (-1.0) in
+  let finish () = rollup ~arrival ~slo_ns ~sc ~arrivals ~start_at ~done_at in
+  let run =
+    match (method_id : Methods.id) with
+    | Methods.A ->
+        serve_a sc ~keys ~queries ~arrivals ~start_at ~done_at ~finish
+    | Methods.B ->
+        serve_b sc ~keys ~queries ~arrivals ~start_at ~done_at ~finish
+    | Methods.C1 | Methods.C2 | Methods.C3 ->
+        serve_c ?faults sc ~variant:method_id ~keys ~queries ~arrivals
+          ~start_at ~done_at ~finish
+  in
+  match run.Run_result.serving with
+  | Some serving -> { run; serving }
+  | None -> assert false
+
+let run (spec : Experiment.Spec.t) =
+  let sc = Experiment.Spec.scenario spec in
+  let arrival = effective sc spec.Experiment.Spec.arrival in
+  let keys, queries, arrivals = generate_workload sc arrival in
+  List.map snd
+    (Exec.Sweep.run ~jobs:spec.Experiment.Spec.jobs
+       (List.map
+          (fun method_id ->
+            Exec.Job.make ~key:method_id (fun () ->
+                run_method ~faults:spec.Experiment.Spec.faults sc ~arrival
+                  ~slo_ns:spec.Experiment.Spec.slo_ns ~method_id ~keys
+                  ~queries ~arrivals))
+          spec.Experiment.Spec.methods))
+
+let load_sweep (spec : Experiment.Spec.t) ~loads =
+  let sc0 = Experiment.Spec.scenario spec in
+  (* Workloads are generated once per load, sequentially, then shared
+     read-only by that load's method jobs — the same purity argument as
+     [Experiment.fig3]'s grid. *)
+  let per_load =
+    List.map
+      (fun qps ->
+        let sc = Workload.Scenario.with_offered_load qps sc0 in
+        let arrival = effective sc spec.Experiment.Spec.arrival in
+        let keys, queries, arrivals = generate_workload sc arrival in
+        (sc, arrival, keys, queries, arrivals))
+      loads
+  in
+  let grid =
+    List.concat_map
+      (fun cell ->
+        List.map (fun method_id -> (cell, method_id)) spec.Experiment.Spec.methods)
+      per_load
+  in
+  List.map snd
+    (Exec.Sweep.run ~jobs:spec.Experiment.Spec.jobs
+       (List.mapi
+          (fun i ((sc, arrival, keys, queries, arrivals), method_id) ->
+            Exec.Job.make ~key:i (fun () ->
+                run_method ~faults:spec.Experiment.Spec.faults sc ~arrival
+                  ~slo_ns:spec.Experiment.Spec.slo_ns ~method_id ~keys
+                  ~queries ~arrivals))
+          grid))
+
+let render ~(scenario : Workload.Scenario.t) reports =
+  let tbl = Report.Table.create ~headers:Run_result.serving_header in
+  List.iter
+    (fun { run; serving } ->
+      Report.Table.add_row tbl (Run_result.serving_cells run serving))
+    reports;
+  let slo =
+    match reports with [] -> 0.0 | r :: _ -> r.serving.Run_result.slo_ns
+  in
+  Printf.sprintf
+    "Online serving: %s, %d clients over a %s horizon, SLO %s\n\n%s"
+    scenario.Workload.Scenario.name scenario.Workload.Scenario.clients
+    (Simcore.Simtime.to_string scenario.Workload.Scenario.duration_ns)
+    (Simcore.Simtime.to_string slo)
+    (Report.Table.render tbl)
+
+let csv_lines reports =
+  String.concat "," Run_result.serving_header
+  :: List.map
+       (fun { run; serving } ->
+         String.concat "," (Run_result.serving_cells run serving))
+       reports

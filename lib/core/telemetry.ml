@@ -34,12 +34,14 @@ let run_label (r : Run_result.t) =
     r.Run_result.scenario
     (r.Run_result.batch_bytes / 1024)
 
-(* Host-side wall-clock stats are real time, hence nondeterministic;
-   Manifest.to_json drops the host block under SOURCE_DATE_EPOCH so
-   metrics files stay byte-comparable across runs and worker counts. *)
+(* Host-side wall-clock stats are real time, hence nondeterministic.
+   They are dropped at the collection point under SOURCE_DATE_EPOCH —
+   not just filtered by Manifest.to_json — so every emitter (batch
+   sweeps and the long-running serve driver alike) produces
+   byte-comparable files across runs and worker counts. *)
 let host_fields () =
   let s = Exec.Pool.host_stats () in
-  if s.Exec.Pool.batches = 0 then []
+  if s.Exec.Pool.batches = 0 || Obs.Manifest.reproducible () then []
   else
     [
       ("pool_batches", Obs.Json.Int s.Exec.Pool.batches);

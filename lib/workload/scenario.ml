@@ -8,6 +8,9 @@ type t = {
   params : Cachesim.Mem_params.t;
   net : Netsim.Profile.t;
   seed : int;
+  clients : int;
+  duration_ns : float;
+  offered_qps : float option;
 }
 
 let kib n = n * 1024
@@ -23,6 +26,9 @@ let paper =
     params = Cachesim.Mem_params.pentium3;
     net = Netsim.Profile.myrinet;
     seed = 2005;
+    clients = 64;
+    duration_ns = 1e8;
+    offered_qps = None;
   }
 
 let scaled = { paper with name = "scaled"; n_queries = 1 lsl 21 }
@@ -38,7 +44,30 @@ let ci =
     params = Cachesim.Mem_params.pentium3;
     net = Netsim.Profile.myrinet;
     seed = 42;
+    clients = 8;
+    duration_ns = 2e7;
+    offered_qps = None;
   }
+
+let with_name name t = { t with name }
+let with_keys n_keys t = { t with n_keys }
+let with_queries n_queries t = { t with n_queries }
+let with_nodes n_nodes t = { t with n_nodes }
+let with_masters n_masters t = { t with n_masters }
+let with_params params t = { t with params }
+let with_net net t = { t with net }
+let with_seed seed t = { t with seed }
+let with_clients clients t = { t with clients = max 1 clients }
+
+let with_duration duration_ns t =
+  if duration_ns <= 0.0 then
+    invalid_arg "Scenario.with_duration: horizon must be positive";
+  { t with duration_ns }
+
+let with_offered_load qps t =
+  if qps <= 0.0 then
+    invalid_arg "Scenario.with_offered_load: load must be positive";
+  { t with offered_qps = Some qps }
 
 let with_batch t batch_bytes = { t with batch_bytes }
 

@@ -257,11 +257,14 @@ let test_calibration_recovers_parameters () =
 (* ------------------------------------------------------------------ *)
 (* Experiment drivers (structure-level checks at tiny scale) *)
 
-let tiny_sc =
-  { Workload.Scenario.ci with Workload.Scenario.n_queries = 1 lsl 13 }
+let tiny_sc = Workload.Scenario.ci |> Workload.Scenario.with_queries (1 lsl 13)
+
+let tiny_spec =
+  Dispatch.Experiment.Spec.default
+  |> Dispatch.Experiment.Spec.with_scenario tiny_sc
 
 let test_experiment_table1 () =
-  let t = Dispatch.Experiment.table1 ~scenario:tiny_sc () in
+  let t = Dispatch.Experiment.table1 tiny_spec in
   check_bool "has rows" true (Report.Table.rows t >= 8);
   let s = Report.Table.render t in
   check_bool "mentions keys" true
@@ -269,10 +272,11 @@ let test_experiment_table1 () =
 
 and test_experiment_fig3_structure () =
   let rows =
-    Dispatch.Experiment.fig3 ~scenario:tiny_sc
-      ~methods:[ Dispatch.Methods.A; Dispatch.Methods.C3 ]
-      ~batches:[ 8 * 1024; 32 * 1024 ]
-      ()
+    Dispatch.Experiment.fig3
+      (tiny_spec
+      |> Dispatch.Experiment.Spec.with_methods
+           [ Dispatch.Methods.A; Dispatch.Methods.C3 ]
+      |> Dispatch.Experiment.Spec.with_batches [ 8 * 1024; 32 * 1024 ])
   in
   check_int "two batch rows" 2 (List.length rows);
   List.iter
@@ -288,7 +292,7 @@ and test_experiment_fig3_structure () =
   check_bool "plot legend present" true (Astring_contains.contains rendered "legend:")
 
 and test_experiment_table3_structure () =
-  let rows = Dispatch.Experiment.table3 ~scenario:tiny_sc () in
+  let rows = Dispatch.Experiment.table3 tiny_spec in
   check_int "three strategies" 3 (List.length rows);
   List.iter
     (fun { Dispatch.Experiment.method_id = _; predicted_ns; simulated_ns; _ } ->
@@ -299,7 +303,7 @@ and test_experiment_table3_structure () =
   check_bool "header" true (Astring_contains.contains rendered "predicted time")
 
 and test_experiment_fig4_structure () =
-  let rows = Dispatch.Experiment.fig4 ~scenario:tiny_sc ~years:5 () in
+  let rows = Dispatch.Experiment.fig4 ~years:5 tiny_spec in
   check_int "six years" 6 (List.length rows);
   let first = List.hd rows and last = List.nth rows 5 in
   check_bool "multi-master advantage grows" true
@@ -318,7 +322,7 @@ and test_experiment_fig4_structure () =
 
 let test_experiment_timeline () =
   let out =
-    Dispatch.Experiment.timeline ~scenario:tiny_sc ~method_id:Dispatch.Methods.C3 ()
+    Dispatch.Experiment.timeline ~method_id:Dispatch.Methods.C3 tiny_spec
   in
   check_bool "has master lane" true (Astring_contains.contains out "master");
   check_bool "has a slave lane" true (Astring_contains.contains out "slave");
@@ -354,17 +358,17 @@ let test_ablations_produce_tables () =
     [
       ("batch-overhead",
        Report.Table.rows
-         (Dispatch.Ablation.batch_overhead ~scenario:tiny_sc
-            ~batches:[ 8192; 65536 ] ()));
-      ("masters", Report.Table.rows (Dispatch.Ablation.masters ~scenario:tiny_sc ()));
+         (Dispatch.Ablation.batch_overhead ~batches:[ 8192; 65536 ]
+            tiny_spec));
+      ("masters", Report.Table.rows (Dispatch.Ablation.masters tiny_spec));
       ("slave-structure",
-       Report.Table.rows (Dispatch.Ablation.slave_structure ~scenario:tiny_sc ()));
+       Report.Table.rows (Dispatch.Ablation.slave_structure tiny_spec));
     ]
   in
   List.iter (fun (name, rows) -> check_bool name true (rows >= 2)) checks
 
 let test_ablation_skew_runs () =
-  let t = Dispatch.Ablation.skew ~scenario:tiny_sc ~exponents:[ 0.0; 1.0 ] () in
+  let t = Dispatch.Ablation.skew ~exponents:[ 0.0; 1.0 ] tiny_spec in
   check_int "two rows" 2 (Report.Table.rows t)
 
 let prop_methods_string_roundtrip =

@@ -325,7 +325,7 @@ let test_faulted_sweep_jobs_deterministic () =
   in
   let runs_at jobs =
     Dispatch.Experiment.fig3
-      ~spec:(Dispatch.Experiment.Spec.with_jobs jobs spec) ()
+      (Dispatch.Experiment.Spec.with_jobs jobs spec)
     |> List.concat_map (fun row -> row.Dispatch.Experiment.results)
   in
   let r1 = runs_at 1 and r2 = runs_at 2 in

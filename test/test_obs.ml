@@ -498,7 +498,7 @@ let test_run_metrics_deterministic () =
   in
   let snaps_at jobs =
     Dispatch.Experiment.fig3
-      ~spec:(Dispatch.Experiment.Spec.with_jobs jobs spec) ()
+      (Dispatch.Experiment.Spec.with_jobs jobs spec)
     |> List.concat_map (fun row ->
            List.map
              (fun (r : Dispatch.Run_result.t) -> r.Dispatch.Run_result.metrics)
@@ -551,7 +551,7 @@ let test_traced_run () =
     |> Dispatch.Experiment.Spec.with_methods [ Dispatch.Methods.C3 ]
     |> Dispatch.Experiment.Spec.with_trace "/dev/null"
   in
-  let rows = Dispatch.Experiment.fig3 ~spec () in
+  let rows = Dispatch.Experiment.fig3 spec in
   let r =
     match rows with
     | [ { Dispatch.Experiment.results = [ r ]; _ } ] -> r

@@ -156,7 +156,7 @@ let test_every_method_conserved () =
   (* with_run_profile already fails loudly on a conservation violation;
      this re-checks the invariant on each returned profile and that the
      expected phases actually got charged. *)
-  let rows = Dispatch.Experiment.fig3 ~spec:profiled_spec () in
+  let rows = Dispatch.Experiment.fig3 profiled_spec in
   let runs = runs_of rows in
   check_int "full grid ran" (2 * List.length Dispatch.Methods.all)
     (List.length runs);
@@ -213,7 +213,7 @@ let test_hier_conserved () =
   check_bool "lookup phase charged" true (List.mem "lookup" phases)
 
 let test_tail_in_runs () =
-  let rows = Dispatch.Experiment.fig3 ~spec:profiled_spec () in
+  let rows = Dispatch.Experiment.fig3 profiled_spec in
   List.iter
     (fun (r : Dispatch.Run_result.t) ->
       let p = Option.get r.Dispatch.Run_result.profile in
@@ -236,7 +236,7 @@ let test_tail_in_runs () =
 let test_profiles_deterministic_across_jobs () =
   let render_at jobs =
     let rows =
-      Dispatch.Experiment.fig3 ~spec:(Spec.with_jobs jobs profiled_spec) ()
+      Dispatch.Experiment.fig3 (Spec.with_jobs jobs profiled_spec)
     in
     let runs =
       List.map

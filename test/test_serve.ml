@@ -1,0 +1,230 @@
+(* Tests for the online serving mode: arrival-stream determinism, the
+   Serve driver's jobs-invariance (byte-identical SLO reports at any
+   worker count), fault composition (crashed-node serve) and the Spec
+   builder guards behind `repro serve`. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+module Spec = Dispatch.Experiment.Spec
+
+let parse_exn s =
+  match Workload.Arrival.parse s with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+(* ------------------------------------------------------------------ *)
+(* Arrival generation *)
+
+let sorted a =
+  let ok = ref true in
+  Array.iteri (fun i t -> if i > 0 && t < a.(i - 1) then ok := false) a;
+  !ok
+
+let in_horizon ~duration_ns a =
+  Array.for_all (fun t -> t >= 0.0 && t < duration_ns) a
+
+let test_generate_deterministic () =
+  List.iter
+    (fun spec ->
+      let a = parse_exn spec in
+      let gen () =
+        Workload.Arrival.generate a ~seed:42 ~clients:4 ~duration_ns:1e6
+      in
+      let x = gen () and y = gen () in
+      check_bool (spec ^ " deterministic") true (x = y);
+      check_bool (spec ^ " sorted") true (sorted x);
+      check_bool (spec ^ " in horizon") true (in_horizon ~duration_ns:1e6 x);
+      check_bool (spec ^ " nonempty") true (Array.length x > 0))
+    [
+      "poisson:rate=1e6";
+      "mmpp:rate=1e6,burst=4,on=1e5,off=3e5";
+      "diurnal:rate=1e6,peak=3,period=5e5";
+    ]
+
+let test_generate_seed_and_clients_sensitive () =
+  let a = Workload.Arrival.poisson 1e6 in
+  let g ~seed ~clients =
+    Workload.Arrival.generate a ~seed ~clients ~duration_ns:1e6
+  in
+  check_bool "seed sensitive" true (g ~seed:1 ~clients:4 <> g ~seed:2 ~clients:4);
+  check_bool "clients sensitive" true
+    (g ~seed:1 ~clients:1 <> g ~seed:1 ~clients:8)
+
+(* The --offered-load override rescales any process to the asked-for
+   time-average rate; the arrival count over a long horizon agrees. *)
+let test_scale_to_hits_offered_load () =
+  List.iter
+    (fun spec ->
+      let a =
+        Workload.Arrival.scale_to (parse_exn spec) ~offered_qps:2e6
+      in
+      (match Workload.Arrival.base_rate_qps a with
+      | Some r ->
+          check_bool (spec ^ " avg rate") true (Float.abs (r -. 2e6) < 1e-6)
+      | None -> Alcotest.failf "%s: no base rate" spec);
+      let n =
+        Array.length
+          (Workload.Arrival.generate a ~seed:7 ~clients:8 ~duration_ns:1e7)
+      in
+      (* 2e6 qps over 10 ms = 20_000 expected; allow 5 sigma. *)
+      check_bool
+        (Printf.sprintf "%s count %d near 20000" spec n)
+        true
+        (n > 19_000 && n < 21_000))
+    [
+      "poisson:rate=1e6";
+      "mmpp:rate=1e6,burst=4,on=1e5,off=3e5";
+      "diurnal:rate=1e6,peak=3,period=5e5";
+    ]
+
+let test_replay_roundtrip () =
+  let path = Filename.temp_file "arrival" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "# comment\n300.5\n100\n200\n9e9\n");
+      let a = parse_exn ("replay:path=" ^ path) in
+      let got =
+        Workload.Arrival.generate a ~seed:0 ~clients:3 ~duration_ns:1e6
+      in
+      (* Sorted, comment skipped, 9e9 truncated by the horizon. *)
+      check_bool "replay" true (got = [| 100.0; 200.0; 300.5 |]))
+
+let test_replay_errors () =
+  check_bool "missing file" true
+    (match
+       Workload.Arrival.generate
+         (parse_exn "replay:path=/nonexistent/trace")
+         ~seed:0 ~clients:1 ~duration_ns:1e6
+     with
+    | _ -> false
+    | exception Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Serve driver *)
+
+let serve_sc =
+  Workload.Scenario.ci
+  |> Workload.Scenario.with_duration 2e6
+  |> Workload.Scenario.with_clients 4
+
+let serve_spec =
+  Spec.default
+  |> Spec.with_scenario serve_sc
+  |> Spec.with_methods [ Dispatch.Methods.A; Dispatch.Methods.B; Dispatch.Methods.C3 ]
+  |> Spec.with_arrival (Workload.Arrival.poisson 2e5)
+  |> Spec.with_slo 1e6
+
+let test_serve_reports_sane () =
+  let reports = Dispatch.Serve.run serve_spec in
+  check_int "one report per method" 3 (List.length reports);
+  List.iter
+    (fun { Dispatch.Serve.run; serving } ->
+      check_bool "serving attached" true (run.Dispatch.Run_result.serving <> None);
+      check_bool "arrived > 0" true (serving.Dispatch.Run_result.arrived > 0);
+      check_bool "completed all (no faults)" true
+        (serving.Dispatch.Run_result.completed
+        = serving.Dispatch.Run_result.arrived);
+      check_int "validated" 0 run.Dispatch.Run_result.validation_errors;
+      let s = serving in
+      check_bool "quantiles ordered" true
+        (s.Dispatch.Run_result.p50_ns <= s.Dispatch.Run_result.p95_ns
+        && s.Dispatch.Run_result.p95_ns <= s.Dispatch.Run_result.p99_ns
+        && s.Dispatch.Run_result.p99_ns <= s.Dispatch.Run_result.max_ns);
+      check_bool "response >= queue" true
+        (s.Dispatch.Run_result.mean_ns >= s.Dispatch.Run_result.mean_queue_ns))
+    reports
+
+(* The SLO report must be byte-identical at any worker count: the CSV
+   lines (what @serve-smoke pins down) compare equal across jobs. *)
+let test_serve_jobs_invariant () =
+  let lines jobs =
+    Dispatch.Serve.csv_lines (Dispatch.Serve.run (Spec.with_jobs jobs serve_spec))
+  in
+  let j1 = lines 1 in
+  check_bool "jobs 1 = 2" true (j1 = lines 2);
+  check_bool "jobs 1 = 4" true (j1 = lines 4)
+
+(* Serving composes with fault injection: a mid-run slave crash degrades
+   the run (lost or fallback-answered queries) but never produces a
+   wrong rank, and every lost query counts as an SLO violation. *)
+let test_serve_with_crash () =
+  let faults =
+    match Fault.Spec.parse "crash:node=3,at=5e5" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "faults: %s" e
+  in
+  let spec =
+    serve_spec
+    |> Spec.with_methods [ Dispatch.Methods.C3 ]
+    |> Spec.with_faults faults
+  in
+  match Dispatch.Serve.run spec with
+  | [ { Dispatch.Serve.run; serving } ] ->
+      check_int "validated" 0 run.Dispatch.Run_result.validation_errors;
+      let lost =
+        serving.Dispatch.Run_result.arrived
+        - serving.Dispatch.Run_result.completed
+      in
+      check_bool "completed <= arrived" true (lost >= 0);
+      check_bool "lost are violations" true
+        (serving.Dispatch.Run_result.violations >= lost);
+      check_bool "degraded accounting" true
+        (Dispatch.Run_result.completeness run <= 1.0)
+  | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_serve_render () =
+  let reports = Dispatch.Serve.run serve_spec in
+  let text = Dispatch.Serve.render ~scenario:serve_sc reports in
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " in render") true (contains text needle))
+    [ "Online serving"; "SLO"; "p99_ns"; "violation_rate" ];
+  check_int "csv lines = header + rows" 4
+    (List.length (Dispatch.Serve.csv_lines reports))
+
+(* ------------------------------------------------------------------ *)
+(* Spec builder guards *)
+
+let test_spec_guards () =
+  check_bool "with_slo rejects 0" true
+    (match Spec.with_slo 0.0 Spec.default with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "with_slo rejects negative" true
+    (match Spec.with_slo (-1.0) Spec.default with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let spec = Spec.with_arrival (parse_exn "mmpp:rate=2e5") Spec.default in
+  check_bool "with_arrival stored" true
+    (Workload.Arrival.to_string spec.Spec.arrival
+    = "mmpp:rate=200000,burst=8,on=1e06,off=9e06")
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "serve"
+    [
+      ( "arrival",
+        [
+          tc "deterministic" `Quick test_generate_deterministic;
+          tc "seed/clients sensitive" `Quick
+            test_generate_seed_and_clients_sensitive;
+          tc "scale_to" `Quick test_scale_to_hits_offered_load;
+          tc "replay roundtrip" `Quick test_replay_roundtrip;
+          tc "replay errors" `Quick test_replay_errors;
+        ] );
+      ( "driver",
+        [
+          tc "reports sane" `Quick test_serve_reports_sane;
+          tc "jobs invariant" `Quick test_serve_jobs_invariant;
+          tc "crash smoke" `Quick test_serve_with_crash;
+          tc "render" `Quick test_serve_render;
+        ] );
+      ("spec", [ tc "builder guards" `Quick test_spec_guards ]);
+    ]

@@ -117,6 +117,62 @@ let prop_index_keys_strictly_increasing =
       done;
       !ok)
 
+(* Any representable arrival spec survives a render/parse round-trip —
+   the property golden serve CSVs and CLI flags depend on.  Floats are
+   arbitrary positive finite values (the renderer falls back to %.17g
+   when %g would lose bits); replay paths avoid only the grammar's
+   separators (',' splits clauses, leading/trailing space is trimmed). *)
+let prop_arrival_roundtrip =
+  let pos_float =
+    QCheck.Gen.(
+      map
+        (fun (f : float) ->
+          let f = Float.abs f in
+          if Float.is_finite f && f > 0.0 then f else 1.5)
+        float)
+  in
+  let path_gen =
+    QCheck.Gen.(
+      let safe =
+        oneofl
+          [ 'a'; 'z'; 'M'; '0'; '9'; '_'; '-'; '.'; '/'; ':'; '='; '~' ]
+      in
+      map (fun s -> "t" ^ s) (string_size ~gen:safe (int_range 0 24)))
+  in
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map
+            (fun rate -> { Workload.Arrival.process = Poisson { rate } })
+            pos_float;
+          map3
+            (fun rate burst (on_ns, off_ns) ->
+              {
+                Workload.Arrival.process =
+                  Mmpp { rate; burst = 1.0 +. burst; on_ns; off_ns };
+              })
+            pos_float pos_float (pair pos_float pos_float);
+          map3
+            (fun rate peak period_ns ->
+              { Workload.Arrival.process = Diurnal { rate; peak; period_ns } })
+            pos_float pos_float pos_float;
+          map
+            (fun path -> { Workload.Arrival.process = Replay { path } })
+            path_gen;
+        ])
+  in
+  let arb =
+    QCheck.make ~print:Workload.Arrival.to_string gen
+  in
+  QCheck.Test.make ~name:"arrival spec render/parse round-trip" ~count:500 arb
+    (fun a ->
+      match Workload.Arrival.parse (Workload.Arrival.to_string a) with
+      | Ok b -> b = a
+      | Error e ->
+          QCheck.Test.fail_reportf "%s did not parse back: %s"
+            (Workload.Arrival.to_string a) e)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "workload"
@@ -143,5 +199,5 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_index_keys_strictly_increasing ] );
+          [ prop_index_keys_strictly_increasing; prop_arrival_roundtrip ] );
     ]
