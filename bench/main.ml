@@ -252,7 +252,8 @@ let print_results results =
 (* ------------------------------------------------------------------ *)
 (* Paper-shaped output at bench scale *)
 
-let print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path =
+let print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path ~timeline
+    ~timeline_window =
   let keys, _ = Lazy.force workload in
   ignore keys;
   print_endline "\n===== paper artefacts at bench scale =====\n";
@@ -305,18 +306,59 @@ let print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path =
   print_string
     (Dispatch.Experiment.render_fig4 (Dispatch.Experiment.fig4 ~years:5 bench_spec));
   print_endline "\n--- Serving (open loop, bench scale) ---";
-  let serve_reports =
-    Dispatch.Serve.run
-      (Dispatch.Experiment.Spec.with_jobs jobs serve_spec)
+  let serve_spec =
+    serve_spec
+    |> Dispatch.Experiment.Spec.with_jobs jobs
+    |> (match timeline with
+       | Some b -> Dispatch.Experiment.Spec.with_timeline b
+       | None -> Fun.id)
+    |> (match timeline_window with
+       | Some w -> Dispatch.Experiment.Spec.with_timeline_window w
+       | None -> Fun.id)
   in
-  print_string (Dispatch.Serve.render ~scenario:serve_scenario serve_reports)
+  let serve_reports = Dispatch.Serve.run serve_spec in
+  print_string (Dispatch.Serve.render ~scenario:serve_scenario serve_reports);
+  match timeline with
+  | None -> ()
+  | Some base ->
+      let text = Dispatch.Serve.render_timeline serve_reports in
+      if text <> "" then begin
+        print_newline ();
+        print_string text
+      end;
+      if base <> "-" then begin
+        Out_channel.with_open_text (base ^ ".csv") (fun oc ->
+            List.iter
+              (fun line ->
+                output_string oc line;
+                output_char oc '\n')
+              (Dispatch.Serve.timeline_csv_lines serve_reports));
+        let named =
+          List.filter_map
+            (fun { Dispatch.Serve.run; _ } ->
+              Option.map
+                (fun t -> (Dispatch.Telemetry.run_label run, t))
+                run.Dispatch.Run_result.timeline)
+            serve_reports
+        in
+        Dispatch.Telemetry.write_json (base ^ ".json")
+          (Dispatch.Telemetry.timeline_document ~generator:"bench serve"
+             ~fields:
+               (Dispatch.Telemetry.manifest_fields serve_scenario
+                  ~methods:serve_spec.Dispatch.Experiment.Spec.methods
+                  ~batches:serve_spec.Dispatch.Experiment.Spec.batches)
+             named);
+        Printf.printf "\nwrote %s.csv\nwrote %s.json\n" base base
+      end
 
-let run_benchmarks ~jobs ~faults ~metrics_path ~trace_path =
+let run_benchmarks ~jobs ~faults ~metrics_path ~trace_path ~timeline
+    ~timeline_window =
   print_endline "===== microbenchmarks (bechamel) =====";
   print_results (benchmark (micro_tests ~jobs));
   print_endline "\n===== paper-artefact benchmarks (bechamel) =====";
   print_results (benchmark (artefact_tests ()));
-  print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path
+  print_paper_shapes ~jobs ~faults ~metrics_path ~trace_path ~timeline
+    ~timeline_window
 
 (* ------------------------------------------------------------------ *)
 (* Entry point *)
@@ -326,8 +368,9 @@ open Cmdliner
 let save_baseline_arg =
   let doc =
     "Run the baseline sweep (CI scenario, every method, 8 KB / 128 KB / \
-     1 MB batches) and save its simulated costs to $(docv); commit the \
-     file to promote a new baseline.  Skips the benchmarks."
+     1 MB batches, plus the ci-serve open-loop serving cell) and save \
+     its simulated costs to $(docv); commit the file to promote a new \
+     baseline.  Skips the benchmarks."
   in
   Arg.(
     value
@@ -345,7 +388,8 @@ let check_baseline_arg =
     & opt (some string) None
     & info [ "check-baseline" ] ~docv:"FILE" ~doc)
 
-let main jobs faults metrics_path trace_path save check =
+let main jobs faults metrics_path trace_path timeline timeline_window save
+    check =
   match (save, check) with
   | Some _, Some _ ->
       prerr_endline
@@ -364,7 +408,8 @@ let main jobs faults metrics_path trace_path save check =
       print_endline (Dispatch.Baseline.render_drift drifts);
       if drifts = [] then 0 else 1
   | None, None ->
-      run_benchmarks ~jobs ~faults ~metrics_path ~trace_path;
+      run_benchmarks ~jobs ~faults ~metrics_path ~trace_path ~timeline
+        ~timeline_window;
       0
 
 let () =
@@ -378,6 +423,7 @@ let () =
   let term =
     Term.(
       const main $ Cli.jobs_arg $ Cli.faults_arg $ Cli.metrics_arg
-      $ Cli.trace_json_arg $ save_baseline_arg $ check_baseline_arg)
+      $ Cli.trace_json_arg $ Cli.timeline_arg $ Cli.timeline_window_arg
+      $ save_baseline_arg $ check_baseline_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

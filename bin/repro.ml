@@ -193,10 +193,43 @@ let run_serve spec csv loads =
              Dispatch.Run_result.serving_cells run serving)
            reports);
       say "wrote %s" path);
+  (match spec.Spec.timeline with
+  | None -> ()
+  | Some base ->
+      let text = Dispatch.Serve.render_timeline reports in
+      if text <> "" then begin
+        print_newline ();
+        print_string text
+      end;
+      if base <> "-" then begin
+        Out_channel.with_open_text (base ^ ".csv") (fun oc ->
+            List.iter
+              (fun line ->
+                output_string oc line;
+                output_char oc '\n')
+              (Dispatch.Serve.timeline_csv_lines reports));
+        say "wrote %s.csv" base;
+        let named =
+          List.filter_map
+            (fun { Dispatch.Serve.run; _ } ->
+              Option.map
+                (fun t -> (Dispatch.Telemetry.run_label run, t))
+                run.Dispatch.Run_result.timeline)
+            reports
+        in
+        Dispatch.Telemetry.write_json (base ^ ".json")
+          (Dispatch.Telemetry.timeline_document ~generator:"repro serve"
+             ~fields:
+               (Dispatch.Telemetry.manifest_fields ~faults:spec.Spec.faults sc
+                  ~methods:spec.Spec.methods ~batches:spec.Spec.batches)
+             named);
+        say "wrote %s.json" base
+      end);
   let runs =
     labelled (List.map (fun r -> r.Dispatch.Serve.run) reports)
   in
   print_degraded runs;
+  print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro serve" runs;
   check_validation runs
 

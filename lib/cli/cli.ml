@@ -192,13 +192,38 @@ let clients_arg =
   let doc = "Simulated client populations feeding the arrival process." in
   Arg.(value & opt (some int) None & info [ "clients" ] ~docv:"N" ~doc)
 
+let timeline_arg =
+  let doc =
+    "Record a windowed timeline of every serving run (offered/achieved \
+     qps, latency quantiles, queue depth, per-node busy fractions, SLO \
+     burn-rate, fault events pinned to their window) and render it as \
+     terminal heat rows.  With a $(docv), also write deterministic \
+     $(docv).csv and manifest-headed $(docv).json exports; '-' renders \
+     only.  Simulated-time windows: byte-identical at any --jobs value."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "timeline" ] ~docv:"BASE" ~doc)
+
+let timeline_window_arg =
+  let doc =
+    "Timeline window width in simulated nanoseconds (default: 1/32 of \
+     the serving horizon).  Also moves the cold/warm split of the \
+     serving rollup (always four windows)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeline-window" ] ~docv:"NS" ~doc)
+
 (* Apply an optional override; absent flags leave the value untouched. *)
 let override v f x = match v with Some v -> f v x | None -> x
 
 let spec_term =
   let build scale queries keys nodes masters batch network seed jobs methods
       metrics trace_json profile profile_folded tail_k faults arrival slo
-      duration offered_load clients =
+      duration offered_load clients timeline timeline_window =
     let base =
       match String.lowercase_ascii scale with
       | "paper" -> Ok Workload.Scenario.paper
@@ -242,7 +267,9 @@ let spec_term =
           |> Spec.with_tail_k tail_k
           |> Spec.with_faults faults
           |> override arrival Spec.with_arrival
-          |> override slo Spec.with_slo)
+          |> override slo Spec.with_slo
+          |> override timeline Spec.with_timeline
+          |> override timeline_window Spec.with_timeline_window)
   in
   Term.(
     term_result ~usage:true
@@ -250,4 +277,5 @@ let spec_term =
      $ masters_arg $ batch_arg $ network_arg $ seed_arg $ jobs_arg
      $ methods_arg $ metrics_arg $ trace_json_arg $ profile_arg
      $ profile_folded_arg $ tail_arg $ faults_arg $ arrival_arg $ slo_arg
-     $ duration_arg $ offered_load_arg $ clients_arg))
+     $ duration_arg $ offered_load_arg $ clients_arg $ timeline_arg
+     $ timeline_window_arg))

@@ -16,7 +16,8 @@ val spec_term : Dispatch.Experiment.Spec.t Term.t
     profiling ([--profile], [--profile-folded], [--tail]), fault
     injection ([--faults], see {!Fault.Spec.parse} for the grammar) and
     serving knobs ([--arrival], [--slo], [--duration],
-    [--offered-load], [--clients], see {!Workload.Arrival.parse}). *)
+    [--offered-load], [--clients], see {!Workload.Arrival.parse}) and
+    timeline telemetry ([--timeline], [--timeline-window]). *)
 
 (** {2 Individual arguments} *)
 
@@ -42,3 +43,10 @@ val slo_arg : float option Term.t
 val duration_arg : float option Term.t
 val offered_load_arg : float option Term.t
 val clients_arg : int option Term.t
+
+val timeline_arg : string option Term.t
+(** [--timeline \[BASE\]]: record serving timelines; [Some "-"] (the
+    bare-flag default) renders only, any other base also writes
+    [BASE.csv] and [BASE.json]. *)
+
+val timeline_window_arg : float option Term.t

@@ -46,19 +46,44 @@ let default_spec ~jobs =
   |> Experiment.Spec.with_batches batches
   |> Experiment.Spec.with_jobs jobs
 
+(* Serving cell of the gate: the CI workload pushed through the
+   open-loop serve driver, so queueing/SLO cost models are gated too.
+   The scenario is renamed so its run_label keys can never collide
+   with the fig3 cells (both families share one key space). *)
+let serve_spec ~jobs =
+  let sc =
+    Workload.Scenario.ci
+    |> Workload.Scenario.with_name "ci-serve"
+    |> Workload.Scenario.with_duration 2e6
+    |> Workload.Scenario.with_clients 4
+  in
+  Experiment.Spec.default
+  |> Experiment.Spec.with_scenario sc
+  |> Experiment.Spec.with_methods [ Methods.B; Methods.C3 ]
+  |> Experiment.Spec.with_arrival (Workload.Arrival.poisson 2e5)
+  |> Experiment.Spec.with_slo 1e6
+  |> Experiment.Spec.with_jobs jobs
+
+let guarded (r : Run_result.t) =
+  if r.Run_result.validation_errors > 0 then
+    failwith
+      (Printf.sprintf "Baseline.capture: %s has %d validation errors"
+         (Telemetry.run_label r) r.Run_result.validation_errors);
+  of_run r
+
 let capture ~spec =
   let rows = Experiment.fig3 spec in
-  List.concat_map
-    (fun { Experiment.batch_bytes = _; results } ->
-      List.map
-        (fun (r : Run_result.t) ->
-          if r.Run_result.validation_errors > 0 then
-            failwith
-              (Printf.sprintf "Baseline.capture: %s has %d validation errors"
-                 (Telemetry.run_label r) r.Run_result.validation_errors);
-          of_run r)
-        results)
-    rows
+  let batch_entries =
+    List.concat_map
+      (fun { Experiment.batch_bytes = _; results } -> List.map guarded results)
+      rows
+  in
+  let serve_entries =
+    List.map
+      (fun { Serve.run; _ } -> guarded run)
+      (Serve.run (serve_spec ~jobs:spec.Experiment.Spec.jobs))
+  in
+  batch_entries @ serve_entries
 
 (* ------------------------------------------------------------------ *)
 (* JSON round trip *)

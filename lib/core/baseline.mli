@@ -34,9 +34,16 @@ val default_spec : jobs:int -> Experiment.Spec.t
 (** The gated sweep: {!Workload.Scenario.ci}, all five methods, over
     {!batches}. *)
 
+val serve_spec : jobs:int -> Experiment.Spec.t
+(** The gated serving cell: the CI workload renamed ["ci-serve"],
+    served open-loop (Poisson 2e5 qps over a 2 ms horizon, methods B
+    and C-3) so queueing and SLO cost models are gated alongside the
+    batch sweep.  Captured by {!capture} after the fig3 cells. *)
+
 val capture : spec:Experiment.Spec.t -> entry list
-(** Run the sweep and summarize each cell.  Raises [Failure] if any run
-    reports validation errors — a broken run must not become a
+(** Run the sweep (the fig3 grid of [spec], then {!serve_spec} at the
+    same worker count) and summarize each cell.  Raises [Failure] if
+    any run reports validation errors — a broken run must not become a
     baseline. *)
 
 val of_run : Run_result.t -> entry

@@ -15,6 +15,8 @@ module Spec = struct
     faults : Fault.Spec.t;
     arrival : Workload.Arrival.t;
     slo_ns : float;
+    timeline : string option;
+    timeline_window_ns : float option;
   }
 
   let default =
@@ -32,6 +34,8 @@ module Spec = struct
       faults = Fault.Spec.none;
       arrival = Workload.Arrival.default;
       slo_ns = 1e6;
+      timeline = None;
+      timeline_window_ns = None;
     }
 
   let with_scenario scenario t = { t with scenario }
@@ -51,6 +55,14 @@ module Spec = struct
     if slo_ns <= 0.0 then invalid_arg "Spec.with_slo: budget must be positive";
     { t with slo_ns }
 
+  let with_timeline base t = { t with timeline = Some base }
+
+  let with_timeline_window window_ns t =
+    if window_ns <= 0.0 then
+      invalid_arg "Spec.with_timeline_window: width must be positive";
+    { t with timeline_window_ns = Some window_ns }
+
+  let timelining t = t.timeline <> None
   let profiling t = t.profile || t.profile_folded <> None
   let faulted t = not (Fault.Spec.is_none t.faults)
 

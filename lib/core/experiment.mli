@@ -56,6 +56,15 @@ module Spec : sig
     slo_ns : float;
         (** Response-time budget for {!Serve} SLO accounting, simulated
             nanoseconds (default 1e6 = 1 ms). *)
+    timeline : string option;
+        (** When set, {!Serve} runs record an {!Obs.Series} timeline
+            onto [Run_result.timeline].  ["-"] renders to the terminal
+            only; any other value is the base path for deterministic
+            [BASE.csv] / [BASE.json] exports. *)
+    timeline_window_ns : float option;
+        (** Timeline window width in simulated nanoseconds; [None] =
+            1/32 of the scenario's serving horizon.  Also sets the
+            cold/warm split point (four windows). *)
   }
 
   val default : t
@@ -80,6 +89,13 @@ module Spec : sig
 
   val with_slo : float -> t -> t
   (** Must be positive. *)
+
+  val with_timeline : string -> t -> t
+  val with_timeline_window : float -> t -> t
+  (** Must be positive. *)
+
+  val timelining : t -> bool
+  (** A timeline destination is set — {!Serve} runs record windows. *)
 
   val faulted : t -> bool
   (** A non-[none] fault spec is set — degraded-run columns and manifest
@@ -164,6 +180,17 @@ val timeline : ?method_id:Methods.id -> Spec.t -> string
 val timeline_traced : ?method_id:Methods.id -> Spec.t -> string * Run_result.t
 (** {!timeline}, also returning the run itself with its recorded trace
     attached ([run.trace = Some _]) for metrics/trace export. *)
+
+(** {2 Per-run instrumentation} *)
+
+val with_run_instrumented : Spec.t -> (unit -> Run_result.t) -> Run_result.t
+(** Run one driver body with the spec's requested recorders installed
+    ambiently: an event trace when [trace_path] is set (attached as
+    [run.trace]) and a cost profile when {!Spec.profiling} (finalized
+    against the run's [raw_ns], conservation-checked, attached as
+    [run.profile]).  A no-op wrapper otherwise.  {!Serve} shares this
+    with the batch drivers so [--profile]/[--trace-json] mean the same
+    thing in both modes. *)
 
 (** {2 Telemetry export} *)
 

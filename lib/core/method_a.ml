@@ -77,4 +77,5 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
     profile = None;
     degraded = Run_result.no_degradation;
     serving = None;
+    timeline = None;
   }

@@ -84,4 +84,5 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
     profile = None;
     degraded = Run_result.no_degradation;
     serving = None;
+    timeline = None;
   }

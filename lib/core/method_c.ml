@@ -354,4 +354,5 @@ let run ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries =
     profile = None;
     degraded;
     serving = None;
+    timeline = None;
   }

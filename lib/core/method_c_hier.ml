@@ -442,4 +442,5 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ?faults ~variant ~keys
       | None -> Run_result.no_degradation
       | Some f -> Failover.degraded f);
     serving = None;
+    timeline = None;
   }

@@ -42,6 +42,15 @@ type serving = {
   max_ns : float;
   slo_ns : float;
   violations : int;
+  cold_until_ns : float;
+  cold_completed : int;
+  cold_p50_ns : float;
+  cold_p95_ns : float;
+  cold_p99_ns : float;
+  warm_completed : int;
+  warm_p50_ns : float;
+  warm_p95_ns : float;
+  warm_p99_ns : float;
 }
 
 type t = {
@@ -67,6 +76,7 @@ type t = {
   profile : Obs.Profile.t option;
   degraded : degraded;
   serving : serving option;
+  timeline : Obs.Series.t option;
 }
 
 let per_key_ns t = t.per_key_ns
@@ -81,6 +91,9 @@ let serving_header =
     "completed"; "achieved_qps"; "mean_queue_ns"; "mean_response_ns";
     "p50_ns"; "p95_ns"; "p99_ns"; "max_ns"; "slo_ns"; "violations";
     "violation_rate"; "messages"; "master_busy"; "slave_idle";
+    "cold_until_ns"; "cold_completed"; "cold_p50_ns"; "cold_p95_ns";
+    "cold_p99_ns"; "warm_completed"; "warm_p50_ns"; "warm_p95_ns";
+    "warm_p99_ns";
   ]
 
 let serving_cells t (s : serving) =
@@ -105,6 +118,15 @@ let serving_cells t (s : serving) =
     string_of_int t.messages;
     Printf.sprintf "%.4f" t.master_busy;
     Printf.sprintf "%.4f" t.slave_idle;
+    Printf.sprintf "%.0f" s.cold_until_ns;
+    string_of_int s.cold_completed;
+    Printf.sprintf "%.1f" s.cold_p50_ns;
+    Printf.sprintf "%.1f" s.cold_p95_ns;
+    Printf.sprintf "%.1f" s.cold_p99_ns;
+    string_of_int s.warm_completed;
+    Printf.sprintf "%.1f" s.warm_p50_ns;
+    Printf.sprintf "%.1f" s.warm_p95_ns;
+    Printf.sprintf "%.1f" s.warm_p99_ns;
   ]
 
 let completeness t =

@@ -50,6 +50,22 @@ type serving = {
   violations : int;
       (** Completed responses over budget, plus queries never answered
           (lost to faults): an unanswered query is an SLO violation. *)
+  cold_until_ns : float;
+      (** End of the cold-start phase: deliveries before this simulated
+          time are "cold" (caches filling, queues draining the initial
+          burst), the rest "warm".  Defaults to four timeline windows;
+          follows [--timeline-window] when one is given. *)
+  cold_completed : int;
+  cold_p50_ns : float;
+  cold_p95_ns : float;
+  cold_p99_ns : float;  (** Exact quantiles over cold deliveries only. *)
+  warm_completed : int;
+  warm_p50_ns : float;
+  warm_p95_ns : float;
+  warm_p99_ns : float;
+      (** Exact quantiles over warm deliveries — the steady-state
+          numbers a capacity plan should use; all-zero when a phase has
+          no deliveries. *)
 }
 (** Rollup of one online-serving run ({!Serve}): what the SLO report
     renders and the golden CSVs pin down. *)
@@ -109,6 +125,10 @@ type t = {
   serving : serving option;
       (** The serving rollup for {!Serve} runs; [None] for batch
           sweeps, whose output stays byte-identical to before. *)
+  timeline : Obs.Series.t option;
+      (** Windowed time-resolved telemetry ({!Obs.Series}) when the
+          caller asked for it ([--timeline]); [None] otherwise.  Built
+          from simulated time only, so identical at any worker count. *)
 }
 
 val per_key_ns : t -> float

@@ -45,21 +45,66 @@ let round_robin n parts =
       Array.init ((n - p + parts - 1) / parts) (fun j -> p + (j * parts)))
 
 (* ------------------------------------------------------------------ *)
+(* Timeline windowing.  The default splits the serving horizon into 32
+   windows; --timeline-window overrides the width.  The cold/warm
+   split rides on the same grid: the first four windows are the
+   cold-start phase (caches filling, the initial burst draining). *)
+
+let default_windows = 32
+
+let effective_window_ns (sc : Workload.Scenario.t) ~timeline_window_ns =
+  match timeline_window_ns with
+  | Some w -> w
+  | None ->
+      let d = sc.Workload.Scenario.duration_ns in
+      if d > 0.0 then d /. float_of_int default_windows else 1e5
+
+let cold_windows = 4
+
+let cold_until (sc : Workload.Scenario.t) ~timeline_window_ns =
+  float_of_int cold_windows
+  *. effective_window_ns sc ~timeline_window_ns
+
+(* ------------------------------------------------------------------ *)
 (* SLO rollup over the admission / service-start / delivery
    timestamps.  Quantiles are exact (nearest-rank over the sorted
    response array): serving runs are small enough that no sketch is
-   needed, and golden CSVs want exactness. *)
+   needed, and golden CSVs want exactness.  Deliveries before
+   [cold_until_ns] form the cold phase; their quantiles and the warm
+   remainder's are reported separately. *)
 
-let rollup ~arrival ~slo_ns ~(sc : Workload.Scenario.t) ~arrivals ~start_at
-    ~done_at =
+let exact_quantiles sorted =
+  let c = Array.length sorted in
+  let quantile p =
+    if c = 0 then 0.0
+    else
+      sorted.(min (c - 1) (max 0 (int_of_float (ceil (p *. float_of_int c)) - 1)))
+  in
+  (quantile 0.5, quantile 0.95, quantile 0.99)
+
+let rollup ~arrival ~slo_ns ~cold_until_ns ~(sc : Workload.Scenario.t)
+    ~arrivals ~start_at ~done_at =
   let n = Array.length arrivals in
   let resp = Array.make (max 1 n) 0.0 in
+  let cold = Array.make (max 1 n) 0.0 in
+  let warm = Array.make (max 1 n) 0.0 in
   let completed = ref 0 in
+  let n_cold = ref 0 in
+  let n_warm = ref 0 in
   let queue_sum = ref 0.0 in
   let last_done = ref 0.0 in
   for i = 0 to n - 1 do
     if done_at.(i) >= 0.0 then begin
-      resp.(!completed) <- done_at.(i) -. arrivals.(i);
+      let r = done_at.(i) -. arrivals.(i) in
+      resp.(!completed) <- r;
+      if done_at.(i) < cold_until_ns then begin
+        cold.(!n_cold) <- r;
+        incr n_cold
+      end
+      else begin
+        warm.(!n_warm) <- r;
+        incr n_warm
+      end;
       queue_sum := !queue_sum +. (start_at.(i) -. arrivals.(i));
       if done_at.(i) > !last_done then last_done := done_at.(i);
       incr completed
@@ -68,11 +113,13 @@ let rollup ~arrival ~slo_ns ~(sc : Workload.Scenario.t) ~arrivals ~start_at
   let c = !completed in
   let sorted = Array.sub resp 0 c in
   Array.sort compare sorted;
-  let quantile p =
-    if c = 0 then 0.0
-    else
-      sorted.(min (c - 1) (max 0 (int_of_float (ceil (p *. float_of_int c)) - 1)))
-  in
+  let sorted_cold = Array.sub cold 0 !n_cold in
+  Array.sort compare sorted_cold;
+  let sorted_warm = Array.sub warm 0 !n_warm in
+  Array.sort compare sorted_warm;
+  let p50, p95, p99 = exact_quantiles sorted in
+  let cold_p50, cold_p95, cold_p99 = exact_quantiles sorted_cold in
+  let warm_p50, warm_p95, warm_p99 = exact_quantiles sorted_warm in
   let over = ref 0 in
   Array.iter (fun r -> if r > slo_ns then incr over) sorted;
   let mean =
@@ -91,13 +138,35 @@ let rollup ~arrival ~slo_ns ~(sc : Workload.Scenario.t) ~arrivals ~start_at
       (if !last_done > 0.0 then float_of_int c *. 1e9 /. !last_done else 0.0);
     mean_queue_ns = (if c = 0 then 0.0 else !queue_sum /. float_of_int c);
     mean_ns = mean;
-    p50_ns = quantile 0.5;
-    p95_ns = quantile 0.95;
-    p99_ns = quantile 0.99;
+    p50_ns = p50;
+    p95_ns = p95;
+    p99_ns = p99;
     max_ns = (if c = 0 then 0.0 else sorted.(c - 1));
     slo_ns;
     violations = !over + (n - c);
+    cold_until_ns;
+    cold_completed = !n_cold;
+    cold_p50_ns = cold_p50;
+    cold_p95_ns = cold_p95;
+    cold_p99_ns = cold_p99;
+    warm_completed = !n_warm;
+    warm_p50_ns = warm_p50;
+    warm_p95_ns = warm_p95;
+    warm_p99_ns = warm_p99;
   }
+
+(* Tail-inspector entry for one delivered query, split into its
+   queueing and service components — only when a profiler is ambient
+   and the response qualifies for the kept set. *)
+let note_tail ~qid ~batch ~arrived ~started ~finished =
+  match Obs.Profile.current () with
+  | Some p when Obs.Tail.qualifies (Obs.Profile.tail p) (finished -. arrived)
+    ->
+      Obs.Tail.note (Obs.Profile.tail p) ~id:qid ~ns:(finished -. arrived)
+        ~batch
+        ~breakdown:
+          [ ("queue", started -. arrived); ("service", finished -. started) ]
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Method A: replicated tree on every node, arrivals dealt round-robin,
@@ -143,6 +212,8 @@ let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
               Machine.sync m;
               let fin = Engine.now eng in
               done_at.(qid) <- fin;
+              note_tail ~qid ~batch:1 ~arrived:t ~started:start_at.(qid)
+                ~finished:fin;
               Latency.add lat (fin -. t))
             my))
     assign;
@@ -194,6 +265,7 @@ let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
     profile = None;
     degraded = Run_result.no_degradation;
     serving = Some (finish ());
+    timeline = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -261,6 +333,8 @@ let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
             for k = !pos to !j - 1 do
               let qid = my.(k) in
               done_at.(qid) <- fin;
+              note_tail ~qid ~batch:len ~arrived:arrivals.(qid)
+                ~started ~finished:fin;
               Latency.add lat (fin -. arrivals.(qid))
             done;
             pos := !j
@@ -317,6 +391,7 @@ let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
     profile = None;
     degraded = Run_result.no_degradation;
     serving = Some (finish ());
+    timeline = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -329,7 +404,7 @@ let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
    dispatch loop plus its single NIC are the funnel every query passes
    through — this is where C saturates first. *)
 
-let serve_c ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries
+let serve_c ?faults ?series (sc : Workload.Scenario.t) ~variant ~keys ~queries
     ~arrivals ~start_at ~done_at ~finish =
   let params = sc.Workload.Scenario.params in
   let net_profile = sc.Workload.Scenario.net in
@@ -347,6 +422,22 @@ let serve_c ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries
         Some (Fault.Plan.create spec ~seed:sc.Workload.Scenario.seed)
     | _ -> None
   in
+  (* Pin the fault plan's scheduled events to the timeline before the
+     run: a crash or slow node is knowable from the spec, so the event
+     lane carries the cause next to the windows showing the effect. *)
+  (match (series, faults, plan) with
+  | Some b, Some spec, Some _ ->
+      List.iter
+        (fun (node, at) ->
+          Obs.Series.note_event b ~at
+            ~label:(Printf.sprintf "crash:node=%d" node))
+        spec.Fault.Spec.crashes;
+      List.iter
+        (fun (node, _factor) ->
+          Obs.Series.note_event b ~at:0.0
+            ~label:(Printf.sprintf "slow:node=%d" node))
+        spec.Fault.Spec.slow
+  | _ -> ());
   let net = Netsim.Network.create ?faults:plan eng net_profile ~nodes:n_nodes in
   let part = Partition.make ~keys ~parts:n_slaves in
   let word = params.Cachesim.Mem_params.word_bytes in
@@ -474,6 +565,8 @@ let serve_c ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries
           if Partition.base part s + rank <> expected.(qid) then incr errors;
           let fin = Engine.now eng in
           done_at.(qid) <- fin;
+          note_tail ~qid ~batch:(Array.length ranks) ~arrived:arrivals.(qid)
+            ~started:start_at.(qid) ~finished:fin;
           Latency.add lat (fin -. arrivals.(qid)))
         ranks
   in
@@ -502,6 +595,9 @@ let serve_c ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries
       let fplan = Failover.plan fo in
       let rem = Array.map Array.length assign in
       let resend id (p : Failover.pending) =
+        (match series with
+        | Some b -> Obs.Series.note_retry b ~at:(Engine.now eng) ()
+        | None -> ());
         Netsim.Network.isend net ~src:p.Failover.home ~dst:p.Failover.dst
           ~tag:Proto.data_tag ~phase:"retry"
           ~size:(Array.length p.Failover.payload * word)
@@ -509,6 +605,13 @@ let serve_c ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries
       in
       let redispatch _id (p : Failover.pending) =
         let len = Array.length p.Failover.qids in
+        (match series with
+        | Some b ->
+            let now = Engine.now eng in
+            Obs.Series.note_redispatch b ~at:now ();
+            Obs.Series.note_event b ~at:now
+              ~label:(Printf.sprintf "redispatch:node=%d" p.Failover.dst)
+        | None -> ());
         if Fault.Plan.fallback fplan then begin
           let m = masters.(p.Failover.home) in
           let fb = fallback_idx.(p.Failover.home) in
@@ -521,14 +624,29 @@ let serve_c ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries
           Machine.sync m;
           Machine.set_phase m "dispatch";
           Failover.note_fallback fo len;
+          (match series with
+          | Some b ->
+              Obs.Series.note_fallback b ~at:(Engine.now eng) ~n:len ()
+          | None -> ());
           Array.iter
             (fun qid ->
               let fin = Engine.now eng in
               done_at.(qid) <- fin;
+              note_tail ~qid ~batch:len ~arrived:arrivals.(qid)
+                ~started:start_at.(qid) ~finished:fin;
               Latency.add lat (fin -. arrivals.(qid)))
             p.Failover.qids
         end
-        else Failover.note_lost fo ~queries:len;
+        else begin
+          Failover.note_lost fo ~queries:len;
+          match series with
+          | Some b ->
+              let now = Engine.now eng in
+              for _ = 1 to len do
+                Obs.Series.note_lost b ~at:now
+              done
+          | None -> ()
+        end;
         rem.(p.Failover.home) <- rem.(p.Failover.home) - len
       in
       for mi = 0 to n_masters - 1 do
@@ -615,25 +733,90 @@ let serve_c ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries
     profile = None;
     degraded;
     serving = Some (finish ());
+    timeline = None;
   }
 
 (* ------------------------------------------------------------------ *)
 
-let run_method ?faults (sc : Workload.Scenario.t) ~arrival ~slo_ns ~method_id
-    ~keys ~queries ~arrivals =
+let run_method ?faults ?(timeline = false) ?timeline_window_ns
+    (sc : Workload.Scenario.t) ~arrival ~slo_ns ~method_id ~keys ~queries
+    ~arrivals =
   let n = Array.length arrivals in
   let start_at = Array.make (max 1 n) 0.0 in
   let done_at = Array.make (max 1 n) (-1.0) in
-  let finish () = rollup ~arrival ~slo_ns ~sc ~arrivals ~start_at ~done_at in
-  let run =
+  let cold_until_ns = cold_until sc ~timeline_window_ns in
+  let finish () =
+    rollup ~arrival ~slo_ns ~cold_until_ns ~sc ~arrivals ~start_at ~done_at
+  in
+  let series =
+    if not timeline then None
+    else
+      Some
+        (Obs.Series.builder
+           ~window_ns:(effective_window_ns sc ~timeline_window_ns)
+           ~slo_ns ~horizon_ns:sc.Workload.Scenario.duration_ns ())
+  in
+  let drive () =
     match (method_id : Methods.id) with
     | Methods.A ->
         serve_a sc ~keys ~queries ~arrivals ~start_at ~done_at ~finish
     | Methods.B ->
         serve_b sc ~keys ~queries ~arrivals ~start_at ~done_at ~finish
     | Methods.C1 | Methods.C2 | Methods.C3 ->
-        serve_c ?faults sc ~variant:method_id ~keys ~queries ~arrivals
+        serve_c ?faults ?series sc ~variant:method_id ~keys ~queries ~arrivals
           ~start_at ~done_at ~finish
+  in
+  let run =
+    match series with
+    | None -> drive ()
+    | Some b ->
+        (* Per-node busy time comes from the machines' sync spans: use
+           the caller's ambient recorder when one is installed (so
+           --trace-json still sees the whole run), else record
+           privately for the harvest. *)
+        let tr, drive =
+          match Simcore.Trace.current () with
+          | Some tr -> (tr, drive)
+          | None ->
+              let tr = Simcore.Trace.create () in
+              (tr, fun () -> Simcore.Trace.with_recording tr drive)
+        in
+        let run = drive () in
+        List.iter
+          (fun (s : Simcore.Trace.span) ->
+            if s.Simcore.Trace.label = "busy" then
+              Obs.Series.note_busy b ~lane:s.Simcore.Trace.lane
+                ~t0:s.Simcore.Trace.t0 ~t1:s.Simcore.Trace.t1)
+          (Simcore.Trace.spans tr);
+        (* Arrivals and deliveries are replayed from the timestamp
+           arrays after the run: simulated-time data only, so the
+           series is identical at any worker count.  Losses were noted
+           live (their timing only exists at the failover decision). *)
+        Array.iteri
+          (fun i at ->
+            Obs.Series.note_arrival b ~at;
+            if done_at.(i) >= 0.0 then
+              Obs.Series.note_delivery b ~arrived:at ~finished:done_at.(i))
+          arrivals;
+        { run with Run_result.timeline = Some (Obs.Series.finish b) }
+  in
+  match run.Run_result.serving with
+  | Some serving -> { run; serving }
+  | None -> assert false
+
+(* One spec-driven serving run with the spec's recorders (trace,
+   profile, timeline) installed — the body every job of [run] and
+   [load_sweep] executes. *)
+let run_method_spec (spec : Experiment.Spec.t) sc ~arrival ~method_id ~keys
+    ~queries ~arrivals =
+  let run =
+    Experiment.with_run_instrumented spec (fun () ->
+        (run_method ~faults:spec.Experiment.Spec.faults
+           ~timeline:(Experiment.Spec.timelining spec)
+           ?timeline_window_ns:spec.Experiment.Spec.timeline_window_ns sc
+           ~arrival ~slo_ns:spec.Experiment.Spec.slo_ns ~method_id ~keys
+           ~queries ~arrivals)
+          .run)
   in
   match run.Run_result.serving with
   | Some serving -> { run; serving }
@@ -648,9 +831,8 @@ let run (spec : Experiment.Spec.t) =
        (List.map
           (fun method_id ->
             Exec.Job.make ~key:method_id (fun () ->
-                run_method ~faults:spec.Experiment.Spec.faults sc ~arrival
-                  ~slo_ns:spec.Experiment.Spec.slo_ns ~method_id ~keys
-                  ~queries ~arrivals))
+                run_method_spec spec sc ~arrival ~method_id ~keys ~queries
+                  ~arrivals))
           spec.Experiment.Spec.methods))
 
 let load_sweep (spec : Experiment.Spec.t) ~loads =
@@ -678,9 +860,8 @@ let load_sweep (spec : Experiment.Spec.t) ~loads =
        (List.mapi
           (fun i ((sc, arrival, keys, queries, arrivals), method_id) ->
             Exec.Job.make ~key:i (fun () ->
-                run_method ~faults:spec.Experiment.Spec.faults sc ~arrival
-                  ~slo_ns:spec.Experiment.Spec.slo_ns ~method_id ~keys
-                  ~queries ~arrivals))
+                run_method_spec spec sc ~arrival ~method_id ~keys ~queries
+                  ~arrivals))
           grid))
 
 let render ~(scenario : Workload.Scenario.t) reports =
@@ -705,3 +886,167 @@ let csv_lines reports =
        (fun { run; serving } ->
          String.concat "," (Run_result.serving_cells run serving))
        reports
+
+(* ------------------------------------------------------------------ *)
+(* Timeline export and rendering *)
+
+let master_lane lane =
+  String.length lane >= 6 && String.sub lane 0 6 = "master"
+
+(* Events pinned to window [i]: at in [t0, t1), with anything at or
+   past the final boundary clamped into the last window so a crash
+   scheduled exactly at the horizon still shows. *)
+let window_events (t : Obs.Series.t) i =
+  let n = Array.length t.Obs.Series.windows in
+  List.filter
+    (fun (e : Obs.Series.event) ->
+      let j =
+        min (n - 1)
+          (max 0 (int_of_float (Float.floor (e.at_ns /. t.Obs.Series.window_ns))))
+      in
+      j = i)
+    t.Obs.Series.events
+
+let timeline_header =
+  [
+    "method"; "scenario"; "window"; "t0_ns"; "t1_ns"; "offered"; "completed";
+    "offered_qps"; "achieved_qps"; "mean_ns"; "p50_ns"; "p95_ns"; "p99_ns";
+    "queue_depth"; "master_busy_frac"; "slave_busy_frac"; "violations";
+    "burn_rate"; "retries"; "redispatches"; "lost"; "fallbacks"; "events";
+  ]
+
+let timeline_rows { run; serving = _ } =
+  match run.Run_result.timeline with
+  | None -> []
+  | Some t ->
+      let lanes = Obs.Series.lanes t in
+      let masters = List.filter master_lane lanes in
+      let slaves = List.filter (fun l -> not (master_lane l)) lanes in
+      (* Busy fraction of a node class inside one window: summed busy
+         nanoseconds over (window width x class size). *)
+      let class_frac (w : Obs.Series.window) cls =
+        match cls with
+        | [] -> 0.0
+        | _ ->
+            List.fold_left
+              (fun acc lane ->
+                acc +. try List.assoc lane w.Obs.Series.busy with Not_found -> 0.0)
+              0.0 cls
+            /. (t.Obs.Series.window_ns *. float_of_int (List.length cls))
+      in
+      Array.to_list
+        (Array.map
+           (fun (w : Obs.Series.window) ->
+             let p50, p95, p99 = Obs.Hist.quantiles w.Obs.Series.latency in
+             [
+               Methods.to_string run.Run_result.method_id;
+               run.Run_result.scenario;
+               string_of_int w.Obs.Series.index;
+               Printf.sprintf "%.0f" w.Obs.Series.t0_ns;
+               Printf.sprintf "%.0f" w.Obs.Series.t1_ns;
+               string_of_int w.Obs.Series.offered;
+               string_of_int w.Obs.Series.completed;
+               Printf.sprintf "%.1f" (Obs.Series.offered_qps t w);
+               Printf.sprintf "%.1f" (Obs.Series.achieved_qps t w);
+               Printf.sprintf "%.1f" (Obs.Hist.mean w.Obs.Series.latency);
+               Printf.sprintf "%.1f" p50;
+               Printf.sprintf "%.1f" p95;
+               Printf.sprintf "%.1f" p99;
+               string_of_int w.Obs.Series.queue_depth;
+               Printf.sprintf "%.4f" (class_frac w masters);
+               Printf.sprintf "%.4f" (class_frac w slaves);
+               string_of_int w.Obs.Series.violations;
+               Printf.sprintf "%.4f" (Obs.Series.burn_rate t w);
+               string_of_int w.Obs.Series.retries;
+               string_of_int w.Obs.Series.redispatches;
+               string_of_int w.Obs.Series.lost;
+               string_of_int w.Obs.Series.fallbacks;
+               String.concat ";"
+                 (List.map
+                    (fun (e : Obs.Series.event) -> e.Obs.Series.label)
+                    (window_events t w.Obs.Series.index));
+             ])
+           t.Obs.Series.windows)
+
+let timeline_csv_lines reports =
+  String.concat "," timeline_header
+  :: List.concat_map
+       (fun r -> List.map (String.concat ",") (timeline_rows r))
+       reports
+
+let render_timeline reports =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun { run; serving = _ } ->
+      match run.Run_result.timeline with
+      | None -> ()
+      | Some t ->
+          let ws = t.Obs.Series.windows in
+          let metric f = Array.map f ws in
+          let qd =
+            metric (fun (w : Obs.Series.window) ->
+                float_of_int w.Obs.Series.queue_depth)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "method %s timeline: %d windows of %s%s\n"
+               (Methods.to_string run.Run_result.method_id)
+               (Array.length ws)
+               (Simcore.Simtime.to_string t.Obs.Series.window_ns)
+               (match Obs.Series.knee t with
+               | None -> ""
+               | Some k ->
+                   Printf.sprintf ", saturation knee at window %d" k));
+          List.iter
+            (fun (label, values) ->
+              Buffer.add_string buf (Report.Ascii_plot.heat_row ~label values);
+              Buffer.add_char buf '\n')
+            [
+              ("offered_qps", metric (Obs.Series.offered_qps t));
+              ("achieved_qps", metric (Obs.Series.achieved_qps t));
+              ( "p95_ns",
+                metric (fun (w : Obs.Series.window) ->
+                    Obs.Hist.quantile w.Obs.Series.latency 0.95) );
+              ("queue_depth", qd);
+              ("burn_rate", metric (Obs.Series.burn_rate t));
+            ];
+          (* One heat row per node lane, all on a shared 0..window scale
+             so master saturation reads against slave idleness. *)
+          List.iter
+            (fun lane ->
+              let busy =
+                metric (fun (w : Obs.Series.window) ->
+                    try List.assoc lane w.Obs.Series.busy
+                    with Not_found -> 0.0)
+              in
+              Buffer.add_string buf
+                (Report.Ascii_plot.heat_row ~label:("busy " ^ lane) ~v_min:0.0
+                   ~v_max:t.Obs.Series.window_ns busy);
+              Buffer.add_char buf '\n')
+            (Obs.Series.lanes t);
+          (* Coalesce consecutive same-label events (a redispatch storm
+             is one line with a count, not one line per batch). *)
+          let rec emit = function
+            | [] -> ()
+            | (e : Obs.Series.event) :: rest ->
+                let same, rest =
+                  let rec split acc = function
+                    | (x : Obs.Series.event) :: tl
+                      when x.Obs.Series.label = e.Obs.Series.label ->
+                        split (acc + 1) tl
+                    | tl -> (acc, tl)
+                  in
+                  split 0 rest
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf "  event @ %s: %s%s\n"
+                     (Simcore.Simtime.to_string e.Obs.Series.at_ns)
+                     e.Obs.Series.label
+                     (if same = 0 then ""
+                      else Printf.sprintf " (x%d)" (same + 1)));
+                emit rest
+          in
+          emit t.Obs.Series.events;
+          Buffer.add_char buf '\n')
+    reports;
+  Buffer.contents buf

@@ -42,6 +42,8 @@ val workload :
 
 val run_method :
   ?faults:Fault.Spec.t ->
+  ?timeline:bool ->
+  ?timeline_window_ns:float ->
   Workload.Scenario.t ->
   arrival:Workload.Arrival.t ->
   slo_ns:float ->
@@ -53,7 +55,13 @@ val run_method :
 (** One open-loop serving run of one method on a prepared workload.
     [arrival] must be the same spec [workload] generated from (it is
     recorded, not re-generated).  Faults apply to the Method C family
-    only, exactly as in the batch drivers. *)
+    only, exactly as in the batch drivers.  With [timeline] (default
+    false) the run records an {!Obs.Series} onto
+    [run.Run_result.timeline]: windows of [timeline_window_ns]
+    (default: horizon/32) with per-window load/latency/queue/busy/SLO
+    readings plus fault events pinned to their window.
+    [timeline_window_ns] also moves the cold/warm split of the serving
+    rollup (always at four windows), with or without [timeline]. *)
 
 val run : Experiment.Spec.t -> report list
 (** One serving run per [spec.methods] entry on a shared workload,
@@ -70,3 +78,23 @@ val render : scenario:Workload.Scenario.t -> report list -> string
 val csv_lines : report list -> string list
 (** {!Run_result.serving_header} plus one CSV row per report — the
     golden-file format of the [@serve-smoke] alias. *)
+
+(** {2 Timelines} *)
+
+val timeline_header : string list
+(** Columns of {!timeline_csv_lines}: per-window load, latency
+    quantiles (log-bucket upper bounds from {!Obs.Hist}), queue depth,
+    master/slave busy fractions, SLO burn-rate, degraded-mode counters
+    and the [;]-joined event labels pinned to the window. *)
+
+val timeline_csv_lines : report list -> string list
+(** Header plus one row per (report, window) over every report that
+    carries a timeline.  Deterministic: simulated-time data only,
+    byte-identical at any [jobs] value. *)
+
+val render_timeline : report list -> string
+(** Terminal reading of each report's timeline: heat rows (shared
+    ASCII intensity ramp) for offered/achieved qps, p95, queue depth
+    and burn-rate, one busy row per node lane on a shared scale, the
+    saturation knee when {!Obs.Series.knee} finds one, and the event
+    list.  [""] when no report carries a timeline. *)

@@ -93,6 +93,23 @@ let metrics_document ~generator ~fields runs =
 
 let trace_document named = Simcore.Trace.combined_trace_event_json named
 
+let timeline_document ~generator ~fields runs =
+  let manifest = Obs.Manifest.create ~generator ~host:(host_fields ()) fields in
+  Obs.Json.Obj
+    [
+      ("manifest", Obs.Manifest.to_json manifest);
+      ( "runs",
+        Obs.Json.List
+          (List.map
+             (fun (label, series) ->
+               Obs.Json.Obj
+                 [
+                   ("run", Obs.Json.String label);
+                   ("timeline", Obs.Series.to_json series);
+                 ])
+             runs) );
+    ]
+
 let write_json path json =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Obs.Json.to_string json))

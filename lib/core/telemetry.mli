@@ -57,4 +57,14 @@ val metrics_document :
 val trace_document : (string * Simcore.Trace.t) list -> Obs.Json.t
 (** Combined Chrome [trace_event] document, one process per run. *)
 
+val timeline_document :
+  generator:string ->
+  fields:(string * Obs.Json.t) list ->
+  (string * Obs.Series.t) list ->
+  Obs.Json.t
+(** [{manifest, runs: [{run, timeline}]}] — the [--timeline BASE.json]
+    file: the same manifest head as a metrics file over each labelled
+    run's {!Obs.Series.to_json}.  Deterministic under
+    [SOURCE_DATE_EPOCH] at any worker count. *)
+
 val write_json : string -> Obs.Json.t -> unit

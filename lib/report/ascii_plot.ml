@@ -1,5 +1,25 @@
 type series = { label : string; glyph : char; points : (float * float) array }
 
+(* Ten-step intensity ramp for sparklines and heat rows.  Deliberately
+   ASCII-only: these strings end up in golden CSV/terminal fixtures
+   that must not depend on the viewer's unicode font. *)
+let ramp = " .:-=+*#%@"
+
+let sparkline ?v_min ?v_max values =
+  let fmin = Array.fold_left min infinity values
+  and fmax = Array.fold_left max neg_infinity values in
+  let lo = match v_min with Some v -> v | None -> fmin in
+  let hi = match v_max with Some v -> v | None -> fmax in
+  let range = if hi > lo then hi -. lo else 1.0 in
+  let steps = String.length ramp - 1 in
+  String.init (Array.length values) (fun i ->
+      let v = (values.(i) -. lo) /. range in
+      let v = Float.min 1.0 (Float.max 0.0 v) in
+      ramp.[int_of_float ((v *. float_of_int steps) +. 0.5)])
+
+let heat_row ?v_min ?v_max ~label values =
+  Printf.sprintf "%-14s|%s" label (sparkline ?v_min ?v_max values)
+
 let render ?(width = 72) ?(height = 20) ?(logx = false) ?y_min ?y_max
     ~x_label ~y_label series =
   let all_points = List.concat_map (fun s -> Array.to_list s.points) series in

@@ -592,6 +592,194 @@ let test_mpi_record_metrics () =
   check_bool "network counters chained" true
     (counter "net_messages_sent" = counter "mpi_sends")
 
+(* ------------------------------------------------------------------ *)
+(* Series: windowed timelines *)
+
+let test_series_accounting () =
+  let b = Obs.Series.builder ~window_ns:100.0 ~slo_ns:50.0 () in
+  Obs.Series.note_arrival b ~at:10.0;
+  Obs.Series.note_arrival b ~at:20.0;
+  Obs.Series.note_arrival b ~at:150.0;
+  (* Arrived in window 0, delivered in window 1, over the SLO. *)
+  Obs.Series.note_delivery b ~arrived:10.0 ~finished:110.0;
+  (* Same-window delivery, within the SLO. *)
+  Obs.Series.note_delivery b ~arrived:20.0 ~finished:60.0;
+  Obs.Series.note_lost b ~at:250.0;
+  Obs.Series.note_event b ~at:250.0 ~label:"crash:node=3";
+  Obs.Series.note_event b ~at:5.0 ~label:"slow:node=1";
+  let t = Obs.Series.finish b in
+  check_int "three windows" 3 (Array.length t.Obs.Series.windows);
+  let w0 = t.Obs.Series.windows.(0)
+  and w1 = t.Obs.Series.windows.(1)
+  and w2 = t.Obs.Series.windows.(2) in
+  check_int "w0 offered" 2 w0.Obs.Series.offered;
+  check_int "w0 completed" 1 w0.Obs.Series.completed;
+  check_int "w0 violations" 0 w0.Obs.Series.violations;
+  check_int "w1 offered" 1 w1.Obs.Series.offered;
+  check_int "w1 completed (pinned by delivery time)" 1 w1.Obs.Series.completed;
+  check_int "w1 violations (100ns > 50ns slo)" 1 w1.Obs.Series.violations;
+  check_int "w2 lost" 1 w2.Obs.Series.lost;
+  check_int "w2 violations include lost" 1 w2.Obs.Series.violations;
+  (* Queue depth is cumulative in-system at each boundary. *)
+  check_int "depth after w0" 1 w0.Obs.Series.queue_depth;
+  check_int "depth after w1" 1 w1.Obs.Series.queue_depth;
+  check_int "depth after w2 (lost leaves queue)" 0 w2.Obs.Series.queue_depth;
+  check_float "offered qps" (2.0 /. (100.0 /. 1e9))
+    (Obs.Series.offered_qps t w0);
+  check_float "w1 violation rate" 1.0 (Obs.Series.violation_rate w1);
+  check_float "w1 burn rate (default budget 0.01)" 100.0
+    (Obs.Series.burn_rate t w1);
+  (* Events come back sorted by time, independent of noting order. *)
+  (match t.Obs.Series.events with
+  | [ e1; e2 ] ->
+      check_string "first event" "slow:node=1" e1.Obs.Series.label;
+      check_string "second event" "crash:node=3" e2.Obs.Series.label
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs))
+
+let test_series_busy_spans () =
+  let b = Obs.Series.builder ~window_ns:100.0 ~slo_ns:50.0 () in
+  (* A span crossing two boundaries splits exactly at them. *)
+  Obs.Series.note_busy b ~lane:"master" ~t0:50.0 ~t1:250.0;
+  Obs.Series.note_busy b ~lane:"node1" ~t0:120.0 ~t1:140.0;
+  let t = Obs.Series.finish b in
+  check_bool "lanes sorted" true
+    (Obs.Series.lanes t = [ "master"; "node1" ]);
+  let busy i lane =
+    List.assoc lane t.Obs.Series.windows.(i).Obs.Series.busy
+  in
+  check_float "master w0" 50.0 (busy 0 "master");
+  check_float "master w1" 100.0 (busy 1 "master");
+  check_float "master w2" 50.0 (busy 2 "master");
+  check_float "node1 w1" 20.0 (busy 1 "node1");
+  check_float "node1 w0 present at zero" 0.0 (busy 0 "node1")
+
+let test_series_knee () =
+  (* Windows 0-1: keeping up; windows 2-3: arrivals outpace a plateaued
+     completion rate and the backlog grows. *)
+  let arrive b w n =
+    for i = 0 to n - 1 do
+      Obs.Series.note_arrival b
+        ~at:((float_of_int w *. 100.0) +. float_of_int i)
+    done
+  in
+  let deliver b w n =
+    for i = 0 to n - 1 do
+      let at = (float_of_int w *. 100.0) +. float_of_int i in
+      Obs.Series.note_delivery b ~arrived:at ~finished:(at +. 1.0)
+    done
+  in
+  let b = Obs.Series.builder ~window_ns:100.0 ~slo_ns:1e9 () in
+  arrive b 0 10;
+  deliver b 0 10;
+  arrive b 1 10;
+  deliver b 1 10;
+  arrive b 2 40;
+  deliver b 2 10;
+  arrive b 3 40;
+  deliver b 3 10;
+  let t = Obs.Series.finish b in
+  check_bool "knee at first saturated window" true
+    (Obs.Series.knee t = Some 2);
+  let b2 = Obs.Series.builder ~window_ns:100.0 ~slo_ns:1e9 () in
+  arrive b2 0 10;
+  deliver b2 0 10;
+  check_bool "no knee when keeping up" true
+    (Obs.Series.knee (Obs.Series.finish b2) = None)
+
+let test_series_rebin_unit () =
+  let b = Obs.Series.builder ~window_ns:64.0 ~slo_ns:32.0 () in
+  for i = 0 to 19 do
+    let at = float_of_int (i * 40) in
+    Obs.Series.note_arrival b ~at;
+    Obs.Series.note_delivery b ~arrived:at ~finished:(at +. float_of_int i)
+  done;
+  let fine = Obs.Series.finish b in
+  let coarse = Obs.Series.rebin fine ~factor:4 in
+  check_int "window count halves correctly"
+    ((Array.length fine.Obs.Series.windows + 3) / 4)
+    (Array.length coarse.Obs.Series.windows);
+  let sum f t =
+    Array.fold_left (fun a w -> a + f w) 0 t.Obs.Series.windows
+  in
+  check_int "offered preserved"
+    (sum (fun w -> w.Obs.Series.offered) fine)
+    (sum (fun w -> w.Obs.Series.offered) coarse);
+  check_int "violations preserved"
+    (sum (fun w -> w.Obs.Series.violations) fine)
+    (sum (fun w -> w.Obs.Series.violations) coarse);
+  check_bool "factor 1 is identity" true (Obs.Series.rebin fine ~factor:1 == fine)
+
+(* Rebin exactness: recording at width 2^k * w equals rebinning a
+   width-w recording by 2^k, bit-for-bit, on integer-nanosecond inputs
+   (the simulation's native grid) with power-of-two widths. *)
+let prop_series_rebin_exact =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* wpow = int_range 4 10 in
+      let* kpow = int_range 1 3 in
+      let* evs =
+        list_size (int_range 0 60)
+          (let* kind = int_range 0 4 in
+           let* a = int_range 0 16384 in
+           let* d = int_range 0 4096 in
+           return (kind, a, d))
+      in
+      return (wpow, kpow, evs))
+  in
+  let print (wpow, kpow, evs) =
+    Printf.sprintf "w=2^%d k=2^%d evs=[%s]" wpow kpow
+      (String.concat ";"
+         (List.map (fun (k, a, d) -> Printf.sprintf "(%d,%d,%d)" k a d) evs))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"series: rebin by 2^k = direct coarse recording"
+    (QCheck.make ~print gen)
+    (fun (wpow, kpow, evs) ->
+      let w = float_of_int (1 lsl wpow) in
+      let k = 1 lsl kpow in
+      let note b =
+        List.iter
+          (fun (kind, a, d) ->
+            let at = float_of_int a and dur = float_of_int d in
+            match kind with
+            | 0 -> Obs.Series.note_arrival b ~at
+            | 1 -> Obs.Series.note_delivery b ~arrived:at ~finished:(at +. dur)
+            | 2 -> Obs.Series.note_lost b ~at
+            | 3 ->
+                Obs.Series.note_busy b
+                  ~lane:(if d mod 2 = 0 then "master" else "node1")
+                  ~t0:at ~t1:(at +. dur)
+            | _ -> Obs.Series.note_retry b ~at ())
+          evs
+      in
+      let fine = Obs.Series.builder ~window_ns:w ~slo_ns:1024.0 () in
+      let coarse =
+        Obs.Series.builder ~window_ns:(w *. float_of_int k) ~slo_ns:1024.0 ()
+      in
+      note fine;
+      note coarse;
+      Obs.Series.rebin (Obs.Series.finish fine) ~factor:k
+      = Obs.Series.finish coarse)
+
+let test_series_json () =
+  let b =
+    Obs.Series.builder ~window_ns:100.0 ~slo_ns:50.0 ~horizon_ns:300.0 ()
+  in
+  Obs.Series.note_arrival b ~at:10.0;
+  Obs.Series.note_delivery b ~arrived:10.0 ~finished:20.0;
+  Obs.Series.note_event b ~at:150.0 ~label:"crash:node=3";
+  let t = Obs.Series.finish b in
+  check_int "horizon pre-extends to 3 windows" 3
+    (Array.length t.Obs.Series.windows);
+  let j = Obs.Series.to_json t in
+  (* The export round-trips through the printer/parser unchanged. *)
+  check_bool "json round-trip" true
+    (Obs.Json.of_string_exn (Obs.Json.to_string j) = j);
+  match Obs.Json.member "windows" j with
+  | Some (Obs.Json.List ws) -> check_int "one object per window" 3 (List.length ws)
+  | _ -> Alcotest.fail "windows list missing"
+
 let test_render () =
   let reg = Obs.Metrics.create () in
   Obs.Metrics.incr reg ~labels:[ ("node", "n0") ] "hits" 12;
@@ -627,6 +815,16 @@ let () =
           Alcotest.test_case "k=0 disables" `Quick test_tail_k0_disabled;
           Alcotest.test_case "k exceeds observations" `Quick
             test_tail_k_exceeds_observations;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "window accounting" `Quick test_series_accounting;
+          Alcotest.test_case "busy-span distribution" `Quick
+            test_series_busy_spans;
+          Alcotest.test_case "knee detector" `Quick test_series_knee;
+          Alcotest.test_case "rebin unit algebra" `Quick test_series_rebin_unit;
+          QCheck_alcotest.to_alcotest prop_series_rebin_exact;
+          Alcotest.test_case "json export" `Quick test_series_json;
         ] );
       ( "metrics",
         [

@@ -267,7 +267,14 @@ let tiny_spec =
 
 let test_baseline_roundtrip () =
   let entries = Dispatch.Baseline.capture ~spec:tiny_spec in
-  check_int "one entry per grid cell" 2 (List.length entries);
+  (* Two fig3 grid cells plus the two ci-serve serving cells. *)
+  check_int "one entry per grid cell" 4 (List.length entries);
+  check_int "serving cells keyed under ci-serve" 2
+    (List.length
+       (List.filter
+          (fun (e : Dispatch.Baseline.entry) ->
+            e.Dispatch.Baseline.scenario = "ci-serve")
+          entries));
   let j = Dispatch.Baseline.to_json ~spec:tiny_spec entries in
   let back =
     Dispatch.Baseline.of_json (Obs.Json.of_string_exn (Obs.Json.to_string j))

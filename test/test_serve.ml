@@ -5,6 +5,7 @@
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
 module Spec = Dispatch.Experiment.Spec
 
 let parse_exn s =
@@ -190,6 +191,172 @@ let test_serve_render () =
     (List.length (Dispatch.Serve.csv_lines reports))
 
 (* ------------------------------------------------------------------ *)
+(* Timelines *)
+
+let timeline_of run =
+  match run.Dispatch.Run_result.timeline with
+  | Some t -> t
+  | None -> Alcotest.fail "timeline missing despite --timeline"
+
+let test_timeline_recorded () =
+  let spec = Spec.with_timeline "-" serve_spec in
+  let reports = Dispatch.Serve.run spec in
+  check_int "one report per method" 3 (List.length reports);
+  List.iter
+    (fun { Dispatch.Serve.run; serving } ->
+      let t = timeline_of run in
+      (* Default window = horizon / 32, pre-extended over the horizon. *)
+      check_bool "32 windows cover the horizon" true
+        (Array.length t.Obs.Series.windows >= 32);
+      check_float "window width" (2e6 /. 32.0) t.Obs.Series.window_ns;
+      let sum f = Array.fold_left (fun a w -> a + f w) 0 t.Obs.Series.windows in
+      check_int "offered sums to arrivals" serving.Dispatch.Run_result.arrived
+        (sum (fun w -> w.Obs.Series.offered));
+      check_int "completed sums to deliveries"
+        serving.Dispatch.Run_result.completed
+        (sum (fun w -> w.Obs.Series.completed));
+      check_bool "no fault events without faults" true
+        (t.Obs.Series.events = []);
+      check_bool "busy lanes recorded" true (Obs.Series.lanes t <> []))
+    reports;
+  let text = Dispatch.Serve.render_timeline reports in
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " in render") true (contains text needle))
+    [ "timeline"; "offered_qps"; "queue_depth"; "burn_rate" ];
+  let total_windows =
+    List.fold_left
+      (fun acc { Dispatch.Serve.run; _ } ->
+        acc + Array.length (timeline_of run).Obs.Series.windows)
+      0 reports
+  in
+  check_int "csv: header + one row per (method, window)" (1 + total_windows)
+    (List.length (Dispatch.Serve.timeline_csv_lines reports))
+
+let test_timeline_off_by_default () =
+  List.iter
+    (fun { Dispatch.Serve.run; _ } ->
+      check_bool "no timeline without the flag" true
+        (run.Dispatch.Run_result.timeline = None))
+    (Dispatch.Serve.run serve_spec);
+  check_bool "render empty" true
+    (Dispatch.Serve.render_timeline (Dispatch.Serve.run serve_spec) = "")
+
+(* A mid-run crash is pinned, as an instant event, to the window its
+   fault-plan time falls in, and the window series shows the failover
+   traffic (redispatches/fallbacks/losses) at or after that window. *)
+let test_timeline_crash_pinned () =
+  let faults =
+    match Fault.Spec.parse "crash:node=3,at=5e5" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "faults: %s" e
+  in
+  let spec =
+    serve_spec
+    |> Spec.with_methods [ Dispatch.Methods.C3 ]
+    |> Spec.with_faults faults
+    |> Spec.with_timeline "-"
+  in
+  match Dispatch.Serve.run spec with
+  | [ { Dispatch.Serve.run; _ } ] ->
+      let t = timeline_of run in
+      let crash =
+        List.filter
+          (fun e -> contains e.Obs.Series.label "crash:node=3")
+          t.Obs.Series.events
+      in
+      (match crash with
+      | [ e ] -> check_float "crash at its plan time" 5e5 e.Obs.Series.at_ns
+      | es -> Alcotest.failf "expected 1 crash event, got %d" (List.length es));
+      let crash_w = int_of_float (5e5 /. t.Obs.Series.window_ns) in
+      let post =
+        Array.fold_left
+          (fun acc w ->
+            if w.Obs.Series.index >= crash_w then
+              acc + w.Obs.Series.redispatches + w.Obs.Series.fallbacks
+              + w.Obs.Series.lost + w.Obs.Series.retries
+            else acc)
+          0 t.Obs.Series.windows
+      and pre =
+        Array.fold_left
+          (fun acc w ->
+            if w.Obs.Series.index < crash_w then
+              acc + w.Obs.Series.redispatches + w.Obs.Series.fallbacks
+              + w.Obs.Series.lost
+            else acc)
+          0 t.Obs.Series.windows
+      in
+      check_bool "failover traffic after the crash" true (post > 0);
+      check_int "no failover traffic before the crash" 0 pre
+  | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+
+(* Timelines are cut in simulated time only, so the CSV export is
+   byte-identical at any worker count — same rule the dune
+   @runtest-parallel gate enforces end-to-end through the binary. *)
+let test_timeline_jobs_invariant () =
+  let lines jobs =
+    Dispatch.Serve.timeline_csv_lines
+      (Dispatch.Serve.run
+         (serve_spec
+         |> Spec.with_methods [ Dispatch.Methods.B; Dispatch.Methods.C3 ]
+         |> Spec.with_timeline "-"
+         |> Spec.with_jobs jobs))
+  in
+  let j1 = lines 1 in
+  check_bool "jobs 1 = 2" true (j1 = lines 2);
+  check_bool "jobs 1 = 4" true (j1 = lines 4)
+
+(* Cold/warm split: the two phases partition the deliveries, and the
+   split point follows the timeline window width. *)
+let test_cold_warm_split () =
+  List.iter
+    (fun { Dispatch.Serve.serving = s; _ } ->
+      check_float "cold ends after 4 default windows" (2e6 /. 8.0)
+        s.Dispatch.Run_result.cold_until_ns;
+      check_int "phases partition deliveries"
+        s.Dispatch.Run_result.completed
+        (s.Dispatch.Run_result.cold_completed
+        + s.Dispatch.Run_result.warm_completed);
+      check_bool "cold quantiles ordered" true
+        (s.Dispatch.Run_result.cold_p50_ns <= s.Dispatch.Run_result.cold_p95_ns
+        && s.Dispatch.Run_result.cold_p95_ns
+           <= s.Dispatch.Run_result.cold_p99_ns);
+      check_bool "warm quantiles ordered" true
+        (s.Dispatch.Run_result.warm_p50_ns <= s.Dispatch.Run_result.warm_p95_ns
+        && s.Dispatch.Run_result.warm_p95_ns
+           <= s.Dispatch.Run_result.warm_p99_ns))
+    (Dispatch.Serve.run serve_spec);
+  check_int "serving cells match header width"
+    (List.length Dispatch.Run_result.serving_header)
+    (match Dispatch.Serve.run serve_spec with
+    | { Dispatch.Serve.run; serving } :: _ ->
+        List.length (Dispatch.Run_result.serving_cells run serving)
+    | [] -> -1)
+
+(* The serve driver feeds the profiler's tail inspector with a
+   queueing-vs-service breakdown for each kept slow query. *)
+let test_tail_breakdown () =
+  let spec = Spec.with_profile serve_spec in
+  List.iter
+    (fun { Dispatch.Serve.run; _ } ->
+      match run.Dispatch.Run_result.profile with
+      | None -> Alcotest.fail "profile missing despite Spec.profile"
+      | Some p ->
+          let worst = Obs.Tail.worst (Obs.Profile.tail p) in
+          check_bool "tail kept slow queries" true (worst <> []);
+          List.iter
+            (fun (e : Obs.Tail.entry) ->
+              let part name = List.assoc_opt name e.Obs.Tail.breakdown in
+              match (part "queue", part "service") with
+              | Some q, Some s ->
+                  check_bool "parts nonnegative" true (q >= 0.0 && s >= 0.0);
+                  check_bool "queue + service = response" true
+                    (Float.abs (q +. s -. e.Obs.Tail.ns) < 1e-6)
+              | _ -> Alcotest.fail "queue/service breakdown missing")
+            worst)
+    (Dispatch.Serve.run spec)
+
+(* ------------------------------------------------------------------ *)
 (* Spec builder guards *)
 
 let test_spec_guards () =
@@ -204,7 +371,14 @@ let test_spec_guards () =
   let spec = Spec.with_arrival (parse_exn "mmpp:rate=2e5") Spec.default in
   check_bool "with_arrival stored" true
     (Workload.Arrival.to_string spec.Spec.arrival
-    = "mmpp:rate=200000,burst=8,on=1e06,off=9e06")
+    = "mmpp:rate=200000,burst=8,on=1e06,off=9e06");
+  check_bool "timelining off by default" false (Spec.timelining Spec.default);
+  check_bool "timelining on with a base" true
+    (Spec.timelining (Spec.with_timeline "-" Spec.default));
+  check_bool "with_timeline_window rejects 0" true
+    (match Spec.with_timeline_window 0.0 Spec.default with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
 
 let () =
   let tc = Alcotest.test_case in
@@ -225,6 +399,15 @@ let () =
           tc "jobs invariant" `Quick test_serve_jobs_invariant;
           tc "crash smoke" `Quick test_serve_with_crash;
           tc "render" `Quick test_serve_render;
+          tc "cold/warm split" `Quick test_cold_warm_split;
+          tc "tail queue/service breakdown" `Quick test_tail_breakdown;
+        ] );
+      ( "timeline",
+        [
+          tc "recorded on demand" `Quick test_timeline_recorded;
+          tc "off by default" `Quick test_timeline_off_by_default;
+          tc "crash pinned to its window" `Quick test_timeline_crash_pinned;
+          tc "jobs invariant" `Quick test_timeline_jobs_invariant;
         ] );
       ("spec", [ tc "builder guards" `Quick test_spec_guards ]);
     ]
