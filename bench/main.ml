@@ -106,6 +106,19 @@ let micro_tests ~jobs =
       (Staged.stage @@ fun () ->
        Array.iter (fun a -> ignore (Cachesim.Hierarchy.access h ~addr:a ~write:false)) addrs)
   in
+  let test_cache_access_scoped =
+    (* Same access stream as cachesim/4k-accesses but with a cache
+       microscope attached: the delta is the classifier's overhead
+       (stack-distance tracking + 3C + set counters per access). *)
+    let scope = Obs.Cachescope.create () in
+    let h = Cachesim.Hierarchy.create Cachesim.Mem_params.pentium3 in
+    ignore (Cachesim.Hierarchy.attach_scope h scope ~node_name:"bench");
+    let g = Prng.Splitmix.create 3 in
+    let addrs = Array.init 4096 (fun _ -> Prng.Splitmix.int g (1 lsl 24)) in
+    Test.make ~name:"cachesim/4k-accesses+scope"
+      (Staged.stage @@ fun () ->
+       Array.iter (fun a -> ignore (Cachesim.Hierarchy.access h ~addr:a ~write:false)) addrs)
+  in
   let test_engine =
     Test.make ~name:"simcore/1k-process-switches"
       (Staged.stage @@ fun () ->
@@ -139,8 +152,8 @@ let micro_tests ~jobs =
   in
   Test.make_grouped ~name:"micro"
     [ test_sorted_array; test_nary; test_csb; test_buffered;
-      test_eytzinger; test_cache_access; test_engine; test_mpi_collectives;
-      test_pool_overhead ]
+      test_eytzinger; test_cache_access; test_cache_access_scoped;
+      test_engine; test_mpi_collectives; test_pool_overhead ]
 
 (* ------------------------------------------------------------------ *)
 (* One test per paper artefact *)

@@ -62,6 +62,28 @@ let print_profiles spec runs =
     print_string (Dispatch.Experiment.profile_report runs)
   end
 
+(* Cache-microscope report to stdout; the BASE.csv / BASE.json exports
+   are written by [emit_telemetry], so call this after it. *)
+let print_scope spec runs =
+  match spec.Spec.cache_scope with
+  | None -> ()
+  | Some base ->
+      let scoped =
+        List.filter_map
+          (fun (label, r) ->
+            Option.map (fun sc -> (label, sc)) r.Dispatch.Run_result.scope)
+          runs
+      in
+      let text = Dispatch.Scope_report.render scoped in
+      if text <> "" then begin
+        print_newline ();
+        print_string text
+      end;
+      if base <> "-" && scoped <> [] then begin
+        say "wrote %s.csv" base;
+        say "wrote %s.json" base
+      end
+
 (* ------------------------------------------------------------------ *)
 (* Subcommands *)
 
@@ -85,6 +107,7 @@ let run_table3 spec =
   print_degraded runs;
   print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro table3" runs;
+  print_scope spec runs;
   check_validation runs
 
 let run_fig3 spec csv =
@@ -124,6 +147,7 @@ let run_fig3 spec csv =
   print_degraded runs;
   print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro fig3" runs;
+  print_scope spec runs;
   check_validation runs
 
 let run_fig4 spec years =
@@ -171,6 +195,7 @@ let run_timeline spec =
   print_degraded runs;
   print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro timeline" runs;
+  print_scope spec runs;
   check_validation runs
 
 (* Open-loop serving with SLO accounting.  One run per method at the
@@ -231,6 +256,7 @@ let run_serve spec csv loads =
   print_degraded runs;
   print_profiles spec runs;
   Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro serve" runs;
+  print_scope spec runs;
   check_validation runs
 
 let run_all spec =

@@ -19,6 +19,7 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable writebacks : int;
+  mutable last_victim : int; (* line evicted by the last fill; -1 = none *)
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -52,6 +53,7 @@ let create ?(name = "cache") ~size_bytes ~line_bytes ~ways () =
     misses = 0;
     evictions = 0;
     writebacks = 0;
+    last_victim = -1;
   }
 
 let name t = t.cache_name
@@ -103,6 +105,7 @@ let fill t ~addr ~write =
   done;
   let w = if !victim >= 0 then !victim else !lru_way in
   let i = base + w in
+  t.last_victim <- t.tags.(i);
   let wrote_back =
     if t.tags.(i) <> -1 then begin
       t.evictions <- t.evictions + 1;
@@ -119,6 +122,8 @@ let fill t ~addr ~write =
   t.stamps.(i) <- t.tick;
   t.dirty.(i) <- write;
   wrote_back
+
+let last_victim t = t.last_victim
 
 let resident t ~addr =
   let line = addr lsr t.line_shift in

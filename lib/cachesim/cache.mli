@@ -38,6 +38,11 @@ val fill : t -> addr:int -> write:bool -> bool
 (** Allocate the line containing [addr], evicting the set's LRU line if
     needed.  Returns [true] when the eviction wrote back a dirty line. *)
 
+val last_victim : t -> int
+(** Line number evicted by the most recent {!fill}, or [-1] if it used
+    an empty way (undefined before the first fill) — how the residency
+    telemetry learns which line a fill displaced. *)
+
 val resident : t -> addr:int -> bool
 (** Residency check without touching LRU state or statistics. *)
 

@@ -13,6 +13,7 @@ type t = {
   mutable writebacks : int;
   mutable cost_ns : float;
   mutable phase : string;
+  mutable scope : Obs.Cachescope.node option;
 }
 
 let create (p : Mem_params.t) =
@@ -47,6 +48,7 @@ let create (p : Mem_params.t) =
     writebacks = 0;
     cost_ns = 0.0;
     phase = "mem";
+    scope = None;
   }
 
 let params t = t.p
@@ -54,6 +56,42 @@ let l1 t = t.l1c
 let l2 t = t.l2c
 let set_phase t phase = t.phase <- phase
 let phase t = t.phase
+
+(* ------------------------------------------------------------------ *)
+(* Cache microscope.  The scope levels mirror the demand hierarchy (L1
+   then L2; the TLB is not a data cache and stays out).  When no scope
+   is attached every hook below is one [None] match. *)
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let level_specs t =
+  let spec (c : Cache.t) =
+    {
+      Obs.Cachescope.name = Cache.name c;
+      lines = Cache.lines c;
+      sets = Cache.sets c;
+      line_shift = log2 (Cache.line_bytes c);
+    }
+  in
+  [ spec t.l1c; spec t.l2c ]
+
+let attach_scope t scope ~node_name =
+  let node = Obs.Cachescope.add_node scope ~name:node_name (level_specs t) in
+  t.scope <- Some node;
+  node
+
+let scope t = t.scope
+
+let scoped_fill t ~level (c : Cache.t) ~addr ~write =
+  let wrote_back = Cache.fill c ~addr ~write in
+  (match t.scope with
+  | Some node ->
+      Obs.Cachescope.note_fill node ~level ~line:(Cache.line_of_addr c addr)
+        ~victim:(Cache.last_victim c)
+  | None -> ());
+  wrote_back
 
 let access t ~addr ~write =
   t.accesses <- t.accesses + 1;
@@ -77,36 +115,52 @@ let access t ~addr ~write =
         attr "tlb_miss" t.p.tlb_penalty_ns
       end
   | None -> ());
-  if Cache.access t.l1c ~addr ~write then begin
+  let l1_hit = Cache.access t.l1c ~addr ~write in
+  (* The scope sees the demand stream each level really serves: every
+     access for L1, only L1 misses for L2. *)
+  (match t.scope with
+  | Some node ->
+      Obs.Cachescope.note_access node ~level:0 ~phase:t.phase ~addr
+        ~hit:l1_hit
+  | None -> ());
+  if l1_hit then begin
     t.l1_hits <- t.l1_hits + 1;
     cost := !cost +. t.p.l1_hit_ns;
     attr "l1_hit" t.p.l1_hit_ns
   end
-  else if Cache.access t.l2c ~addr ~write then begin
-    t.l2_hits <- t.l2_hits + 1;
-    cost := !cost +. t.p.b1_penalty_ns;
-    attr "l2_hit" t.p.b1_penalty_ns;
-    ignore (Cache.fill t.l1c ~addr ~write)
-  end
   else begin
-    let line = Cache.line_of_addr t.l2c addr in
-    let line_cost = float_of_int t.p.l2_line /. t.p.mem_seq_bw in
-    if Prefetcher.note_miss t.pf ~line then begin
-      t.seq_misses <- t.seq_misses + 1;
-      cost := !cost +. line_cost;
-      attr "ram_sequential" line_cost
+    let l2_hit = Cache.access t.l2c ~addr ~write in
+    (match t.scope with
+    | Some node ->
+        Obs.Cachescope.note_access node ~level:1 ~phase:t.phase ~addr
+          ~hit:l2_hit
+    | None -> ());
+    if l2_hit then begin
+      t.l2_hits <- t.l2_hits + 1;
+      cost := !cost +. t.p.b1_penalty_ns;
+      attr "l2_hit" t.p.b1_penalty_ns;
+      ignore (scoped_fill t ~level:0 t.l1c ~addr ~write)
     end
     else begin
-      t.rand_misses <- t.rand_misses + 1;
-      cost := !cost +. t.p.b2_penalty_ns;
-      attr "ram_random" t.p.b2_penalty_ns
-    end;
-    if Cache.fill t.l2c ~addr ~write then begin
-      t.writebacks <- t.writebacks + 1;
-      cost := !cost +. line_cost;
-      attr "ram_writeback" line_cost
-    end;
-    ignore (Cache.fill t.l1c ~addr ~write)
+      let line = Cache.line_of_addr t.l2c addr in
+      let line_cost = float_of_int t.p.l2_line /. t.p.mem_seq_bw in
+      if Prefetcher.note_miss t.pf ~line then begin
+        t.seq_misses <- t.seq_misses + 1;
+        cost := !cost +. line_cost;
+        attr "ram_sequential" line_cost
+      end
+      else begin
+        t.rand_misses <- t.rand_misses + 1;
+        cost := !cost +. t.p.b2_penalty_ns;
+        attr "ram_random" t.p.b2_penalty_ns
+      end;
+      if scoped_fill t ~level:1 t.l2c ~addr ~write then begin
+        t.writebacks <- t.writebacks + 1;
+        cost := !cost +. line_cost;
+        attr "ram_writeback" line_cost
+      end;
+      ignore (scoped_fill t ~level:0 t.l1c ~addr ~write)
+    end
   end;
   t.cost_ns <- t.cost_ns +. !cost;
   !cost
@@ -115,19 +169,28 @@ let flush t =
   Cache.flush t.l1c;
   Cache.flush t.l2c;
   (match t.tlb with Some tlb -> Cache.flush tlb | None -> ());
-  Prefetcher.reset t.pf
+  Prefetcher.reset t.pf;
+  match t.scope with
+  | Some node ->
+      Obs.Cachescope.note_flush node ~level:0;
+      Obs.Cachescope.note_flush node ~level:1
+  | None -> ()
 
 let invalidate_range t ~addr ~bytes =
   if bytes > 0 then begin
-    let invalidate_in c =
+    let invalidate_in level c =
       let line = Cache.line_bytes c in
       let first = addr / line and last = (addr + bytes - 1) / line in
       for l = first to last do
+        (match t.scope with
+        | Some node when Cache.resident c ~addr:(l * line) ->
+            Obs.Cachescope.note_invalidate node ~level ~line:l
+        | _ -> ());
         Cache.invalidate c ~addr:(l * line)
       done
     in
-    invalidate_in t.l1c;
-    invalidate_in t.l2c
+    invalidate_in 0 t.l1c;
+    invalidate_in 1 t.l2c
   end
 
 type stats = {
@@ -235,8 +298,14 @@ let record_metrics (t : t) ?(labels = []) reg =
   Obs.Metrics.incr reg ~labels "mem_tlb_misses" t.tlb_misses;
   Obs.Metrics.incr reg ~labels "mem_writebacks" t.writebacks;
   Obs.Metrics.incr_f reg ~labels "mem_cost_ns" t.cost_ns;
+  Obs.Metrics.incr reg ~labels "prefetch_fills" (Prefetcher.fills t.pf);
+  Obs.Metrics.incr reg ~labels "prefetch_useful" (Prefetcher.useful t.pf);
+  Obs.Metrics.incr reg ~labels "prefetch_useless" (Prefetcher.useless t.pf);
   Cache.record_metrics t.l1c ~labels reg;
   Cache.record_metrics t.l2c ~labels reg;
-  match t.tlb with
+  (match t.tlb with
   | Some tlb -> Cache.record_metrics tlb ~labels reg
+  | None -> ());
+  match t.scope with
+  | Some node -> Obs.Cachescope.record_metrics node ~labels reg
   | None -> ()

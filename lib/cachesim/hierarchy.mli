@@ -49,6 +49,23 @@ val invalidate_range : t -> addr:int -> bytes:int -> unit
 val l1 : t -> Cache.t
 val l2 : t -> Cache.t
 
+(** {2 Cache microscope} *)
+
+val attach_scope :
+  t -> Obs.Cachescope.t -> node_name:string -> Obs.Cachescope.node
+(** Register this hierarchy as one node of a {!Obs.Cachescope} and
+    start feeding it the demand stream: every access classified 3C
+    (per level, per phase) with its reuse distance, every fill /
+    invalidation / flush reflected into per-region residency counts.
+    Levels are [L1] (index 0) and [L2] (index 1); the TLB is not a data
+    cache and is not scoped.  With no scope attached (the default) the
+    hooks cost one [None] check per access. *)
+
+val scope : t -> Obs.Cachescope.node option
+
+val level_specs : t -> Obs.Cachescope.level_spec list
+(** The geometry {!attach_scope} registers ([L1] then [L2]). *)
+
 (** {2 Statistics} *)
 
 type stats = {
@@ -87,4 +104,8 @@ val record_metrics : t -> ?labels:(string * string) list -> Obs.Metrics.t -> uni
     [mem_rand_misses], [mem_tlb_misses], [mem_writebacks] and the
     accumulated [mem_cost_ns]), then each level's raw cache counters via
     {!Cache.record_metrics}.  Extra [labels] (e.g. [node=3]) are attached
-    to every series. *)
+    to every series.  Prefetcher prediction accounting is split out as
+    [prefetch_fills] / [prefetch_useful] / [prefetch_useless] so demand
+    hit/miss counters stay unpolluted; with a scope attached, its 3C /
+    reuse-distance / cold-line readings ride along via
+    {!Obs.Cachescope.record_metrics}. *)

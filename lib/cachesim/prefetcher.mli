@@ -28,3 +28,26 @@ val sequential_hits : t -> int
 (** Number of misses classified as sequential so far. *)
 
 val random_misses : t -> int
+
+(** {2 Prediction accounting}
+
+    Observational only — classification and the cost model are
+    untouched.  Every live stream at line [l] is modelled as holding
+    one outstanding prefetch of line [l + 1]: extending the stream
+    consumes it (useful), replacing the stream retires it unconsumed
+    (useless).  Splitting these from the demand hit/miss counters keeps
+    the 3C classifier and the cache accuracy statistics free of
+    prefetch pollution. *)
+
+val fills : t -> int
+(** Predictions issued (one per stream allocation or extension). *)
+
+val useful : t -> int
+(** Predictions consumed by a later demand miss on the predicted
+    line. *)
+
+val useless : t -> int
+(** Predictions retired unconsumed when their stream was replaced. *)
+
+val outstanding : t -> int
+(** [fills - useful - useless]: predictions still live. *)

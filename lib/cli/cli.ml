@@ -31,6 +31,32 @@ let batch_arg =
   let doc = "Override the batch/message size in KB." in
   Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"KB" ~doc)
 
+let batches_arg =
+  let doc =
+    "Restrict a batch sweep (fig3) to this comma-separated list of \
+     batch/message sizes in KB, e.g. '64,128,256'."
+  in
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match int_of_string_opt (String.trim p) with
+          | Some kb when kb > 0 -> go (kib kb :: acc) rest
+          | Some _ | None ->
+              Error (`Msg (Printf.sprintf "bad batch size %S (KB)" p)))
+    in
+    go [] parts
+  in
+  let print fmt bs =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map (fun b -> string_of_int (b / 1024)) bs))
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "batches" ] ~docv:"KBS" ~doc)
+
 let masters_arg =
   let doc = "Number of master nodes for Method C (paper: 1)." in
   Arg.(value & opt (some int) None & info [ "masters" ] ~docv:"N" ~doc)
@@ -217,13 +243,31 @@ let timeline_window_arg =
     & opt (some float) None
     & info [ "timeline-window" ] ~docv:"NS" ~doc)
 
+let cache_scope_arg =
+  let doc =
+    "Turn on the cache microscope: classify every cache miss as \
+     compulsory / capacity / conflict (3C, via an exact stack-distance \
+     shadow LRU), accumulate reuse-distance histograms per address \
+     region (index partition, query buffers, MPI staging), track \
+     per-region cache residency at sync points and per-set miss \
+     pressure, and print the report.  With a $(docv), also write \
+     deterministic $(docv).csv and manifest-headed $(docv).json \
+     exports; '-' renders only.  Off by default and zero-cost when \
+     off.  Simulated-order readings: byte-identical at any --jobs \
+     value."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "cache-scope" ] ~docv:"BASE" ~doc)
+
 (* Apply an optional override; absent flags leave the value untouched. *)
 let override v f x = match v with Some v -> f v x | None -> x
 
 let spec_term =
-  let build scale queries keys nodes masters batch network seed jobs methods
-      metrics trace_json profile profile_folded tail_k faults arrival slo
-      duration offered_load clients timeline timeline_window =
+  let build scale queries keys nodes masters batch batches network seed jobs
+      methods metrics trace_json profile profile_folded tail_k faults arrival
+      slo duration offered_load clients timeline timeline_window cache_scope =
     let base =
       match String.lowercase_ascii scale with
       | "paper" -> Ok Workload.Scenario.paper
@@ -268,14 +312,16 @@ let spec_term =
           |> Spec.with_faults faults
           |> override arrival Spec.with_arrival
           |> override slo Spec.with_slo
+          |> override batches Spec.with_batches
           |> override timeline Spec.with_timeline
-          |> override timeline_window Spec.with_timeline_window)
+          |> override timeline_window Spec.with_timeline_window
+          |> override cache_scope Spec.with_cache_scope)
   in
   Term.(
     term_result ~usage:true
       (const build $ scale_arg $ queries_arg $ keys_arg $ nodes_arg
-     $ masters_arg $ batch_arg $ network_arg $ seed_arg $ jobs_arg
-     $ methods_arg $ metrics_arg $ trace_json_arg $ profile_arg
+     $ masters_arg $ batch_arg $ batches_arg $ network_arg $ seed_arg
+     $ jobs_arg $ methods_arg $ metrics_arg $ trace_json_arg $ profile_arg
      $ profile_folded_arg $ tail_arg $ faults_arg $ arrival_arg $ slo_arg
      $ duration_arg $ offered_load_arg $ clients_arg $ timeline_arg
-     $ timeline_window_arg))
+     $ timeline_window_arg $ cache_scope_arg))

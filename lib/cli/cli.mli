@@ -11,13 +11,14 @@ open Cmdliner
 
 val spec_term : Dispatch.Experiment.Spec.t Term.t
 (** [--scale], workload overrides ([--queries], [--keys], [--nodes],
-    [--masters], [--batch], [--network], [--seed]), [--jobs],
-    [--methods], telemetry outputs ([--metrics], [--trace-json]),
-    profiling ([--profile], [--profile-folded], [--tail]), fault
-    injection ([--faults], see {!Fault.Spec.parse} for the grammar) and
-    serving knobs ([--arrival], [--slo], [--duration],
-    [--offered-load], [--clients], see {!Workload.Arrival.parse}) and
-    timeline telemetry ([--timeline], [--timeline-window]). *)
+    [--masters], [--batch], [--batches], [--network], [--seed]),
+    [--jobs], [--methods], telemetry outputs ([--metrics],
+    [--trace-json]), profiling ([--profile], [--profile-folded],
+    [--tail]), fault injection ([--faults], see {!Fault.Spec.parse} for
+    the grammar) and serving knobs ([--arrival], [--slo], [--duration],
+    [--offered-load], [--clients], see {!Workload.Arrival.parse}),
+    timeline telemetry ([--timeline], [--timeline-window]) and the
+    cache microscope ([--cache-scope]). *)
 
 (** {2 Individual arguments} *)
 
@@ -26,6 +27,10 @@ val queries_arg : int option Term.t
 val keys_arg : int option Term.t
 val nodes_arg : int option Term.t
 val batch_arg : int option Term.t
+
+(** [--batches KBS]: comma-separated batch sizes in KB, converted to
+    bytes — restricts fig3's sweep grid. *)
+val batches_arg : int list option Term.t
 val masters_arg : int option Term.t
 val network_arg : string Term.t
 val seed_arg : int option Term.t
@@ -50,3 +55,9 @@ val timeline_arg : string option Term.t
     [BASE.csv] and [BASE.json]. *)
 
 val timeline_window_arg : float option Term.t
+
+val cache_scope_arg : string option Term.t
+(** [--cache-scope \[BASE\]]: record cache-microscope readings (3C miss
+    classification, reuse-distance profiles, partition residency, set
+    pressure); [Some "-"] (the bare-flag default) renders only, any
+    other base also writes [BASE.csv] and [BASE.json]. *)

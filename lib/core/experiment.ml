@@ -17,6 +17,7 @@ module Spec = struct
     slo_ns : float;
     timeline : string option;
     timeline_window_ns : float option;
+    cache_scope : string option;
   }
 
   let default =
@@ -36,6 +37,7 @@ module Spec = struct
       slo_ns = 1e6;
       timeline = None;
       timeline_window_ns = None;
+      cache_scope = None;
     }
 
   let with_scenario scenario t = { t with scenario }
@@ -62,7 +64,9 @@ module Spec = struct
       invalid_arg "Spec.with_timeline_window: width must be positive";
     { t with timeline_window_ns = Some window_ns }
 
+  let with_cache_scope base t = { t with cache_scope = Some base }
   let timelining t = t.timeline <> None
+  let cache_scoping t = t.cache_scope <> None
   let profiling t = t.profile || t.profile_folded <> None
   let faulted t = not (Fault.Spec.is_none t.faults)
 
@@ -107,10 +111,23 @@ let with_run_profile spec body =
     { r with Run_result.profile = Some p }
   end
 
-(* Both recorders at once, profile outermost (it needs the finished
+(* Cache microscope: machines created inside the body attach to a
+   per-run scope, which classifies the whole demand stream.  The scope
+   lives per job (like the trace and profile recorders), so parallel
+   sweeps stay deterministic for free. *)
+let with_run_scope spec body =
+  if not (Spec.cache_scoping spec) then body ()
+  else begin
+    let sc = Obs.Cachescope.create () in
+    let r = Obs.Cachescope.with_recording sc body in
+    { r with Run_result.scope = Some sc }
+  end
+
+(* All recorders at once, profile outermost (it needs the finished
    run's [raw_ns] to close the books). *)
 let with_run_instrumented spec body =
-  with_run_profile spec (fun () -> with_run_trace spec body)
+  with_run_profile spec (fun () ->
+      with_run_scope spec (fun () -> with_run_trace spec body))
 
 let profile_report runs =
   String.concat "\n"
@@ -145,7 +162,7 @@ let emit_telemetry ~spec ~generator runs =
       in
       Telemetry.write_json path (Telemetry.trace_document named)
   | None -> ());
-  match spec.Spec.profile_folded with
+  (match spec.Spec.profile_folded with
   | Some path ->
       let lines =
         List.concat_map
@@ -164,7 +181,20 @@ let emit_telemetry ~spec ~generator runs =
               output_string oc l;
               output_char oc '\n')
             lines)
-  | None -> ()
+  | None -> ());
+  match spec.Spec.cache_scope with
+  | Some base when base <> "-" ->
+      let scoped =
+        List.filter_map
+          (fun (label, r) ->
+            Option.map (fun sc -> (label, sc)) r.Run_result.scope)
+          runs
+      in
+      Out_channel.with_open_text (base ^ ".csv") (fun oc ->
+          Out_channel.output_string oc (Scope_report.csv scoped));
+      Telemetry.write_json (base ^ ".json")
+        (Telemetry.cachescope_document ~generator ~fields scoped)
+  | Some _ | None -> ()
 
 let scratch_tree (sc : Workload.Scenario.t) ~keys =
   let m = Machine.create (Engine.create ()) ~name:"scratch" sc.Workload.Scenario.params in

@@ -65,6 +65,15 @@ module Spec : sig
         (** Timeline window width in simulated nanoseconds; [None] =
             1/32 of the scenario's serving horizon.  Also sets the
             cold/warm split point (four windows). *)
+    cache_scope : string option;
+        (** When set, every run records an {!Obs.Cachescope} — 3C miss
+            classification, reuse-distance profiles, partition
+            residency, set pressure — onto [Run_result.scope].  ["-"]
+            renders to the terminal only; any other value is the base
+            path for deterministic [BASE.csv] / [BASE.json] exports.
+            [None] (the default) takes the pre-scope code paths: no
+            shadow structures are allocated and per-access hooks reduce
+            to one [None] check. *)
   }
 
   val default : t
@@ -94,8 +103,14 @@ module Spec : sig
   val with_timeline_window : float -> t -> t
   (** Must be positive. *)
 
+  val with_cache_scope : string -> t -> t
+
   val timelining : t -> bool
   (** A timeline destination is set — {!Serve} runs record windows. *)
+
+  val cache_scoping : t -> bool
+  (** A cache-scope destination is set — runs carry
+      [Run_result.scope]. *)
 
   val faulted : t -> bool
   (** A non-[none] fault spec is set — degraded-run columns and manifest
@@ -186,11 +201,13 @@ val timeline_traced : ?method_id:Methods.id -> Spec.t -> string * Run_result.t
 val with_run_instrumented : Spec.t -> (unit -> Run_result.t) -> Run_result.t
 (** Run one driver body with the spec's requested recorders installed
     ambiently: an event trace when [trace_path] is set (attached as
-    [run.trace]) and a cost profile when {!Spec.profiling} (finalized
+    [run.trace]), a cost profile when {!Spec.profiling} (finalized
     against the run's [raw_ns], conservation-checked, attached as
-    [run.profile]).  A no-op wrapper otherwise.  {!Serve} shares this
-    with the batch drivers so [--profile]/[--trace-json] mean the same
-    thing in both modes. *)
+    [run.profile]) and a cache microscope when {!Spec.cache_scoping}
+    (attached as [run.scope]).  A no-op wrapper otherwise.  {!Serve}
+    shares this with the batch drivers so
+    [--profile]/[--trace-json]/[--cache-scope] mean the same thing in
+    both modes. *)
 
 (** {2 Telemetry export} *)
 
@@ -199,12 +216,16 @@ val emit_telemetry :
   generator:string ->
   (string * Run_result.t) list ->
   unit
-(** Write the spec's [metrics_path] / [trace_path] / [profile_folded]
-    files (whichever are set) from labelled runs: the metrics file is
-    [{manifest, runs: [{run, metrics}]}] (see {!Telemetry}), the trace
-    file a combined Chrome [trace_event] document over every run that
-    carries a trace, the folded file collapsed-stack flamegraph lines
-    over every run that carries a profile (root frame = run label). *)
+(** Write the spec's [metrics_path] / [trace_path] / [profile_folded] /
+    [cache_scope] files (whichever are set) from labelled runs: the
+    metrics file is [{manifest, runs: [{run, metrics}]}] (see
+    {!Telemetry}), the trace file a combined Chrome [trace_event]
+    document over every run that carries a trace, the folded file
+    collapsed-stack flamegraph lines over every run that carries a
+    profile (root frame = run label), and — when [cache_scope] is a
+    base path other than ["-"] — [BASE.csv] ({!Scope_report.csv}) and
+    [BASE.json] ({!Telemetry.cachescope_document}) over every run that
+    carries a scope. *)
 
 val profile_report : (string * Run_result.t) list -> string
 (** Concatenated {!Obs.Profile.render} cost trees (with tail-query

@@ -3,10 +3,13 @@ open Simcore
 let run (sc : Workload.Scenario.t) ~keys ~queries =
   let eng = Engine.create () in
   let m = Machine.create eng ~name:"worker" sc.Workload.Scenario.params in
+  let tree_lo = Machine.words_allocated m in
   let tree = Index.Nary_tree.build m keys in
+  Machine.label_region m ~label:"partition" ~base:tree_lo
+    ~words:(Machine.words_allocated m - tree_lo);
   let n = Array.length queries in
-  let q_base = Machine.alloc m n in
-  let r_base = Machine.alloc m n in
+  let q_base = Machine.labelled_alloc m ~label:"queries" n in
+  let r_base = Machine.labelled_alloc m ~label:"results" n in
   Machine.poke_array m q_base queries;
   let lat = Latency.create () in
   Machine.set_phase m "lookup";
@@ -40,9 +43,13 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
         | Some _ | None -> ());
         (* Flush accumulated cost into the clock at a coarse grain to keep
            the event queue off the per-query hot path. *)
-        if i land 8191 = 8191 then Machine.sync m
+        if i land 8191 = 8191 then begin
+          Machine.sync m;
+          Machine.sample_residency m
+        end
       done;
-      Machine.sync m);
+      Machine.sync m;
+      Machine.sample_residency m);
   Engine.run eng;
   let errors = ref 0 in
   for i = 0 to n - 1 do
@@ -78,4 +85,5 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
     degraded = Run_result.no_degradation;
     serving = None;
     timeline = None;
+    scope = None;
   }

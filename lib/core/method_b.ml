@@ -3,12 +3,15 @@ open Simcore
 let run (sc : Workload.Scenario.t) ~keys ~queries =
   let eng = Engine.create () in
   let m = Machine.create eng ~name:"worker" sc.Workload.Scenario.params in
+  let tree_lo = Machine.words_allocated m in
   let tree = Index.Nary_tree.build m keys in
+  Machine.label_region m ~label:"partition" ~base:tree_lo
+    ~words:(Machine.words_allocated m - tree_lo);
   let batch_keys = Workload.Scenario.queries_per_batch sc in
   let buffered = Index.Buffered.create ~max_batch:batch_keys tree in
   let n = Array.length queries in
-  let q_base = Machine.alloc m n in
-  let r_base = Machine.alloc m n in
+  let q_base = Machine.labelled_alloc m ~label:"queries" n in
+  let r_base = Machine.labelled_alloc m ~label:"results" n in
   Machine.poke_array m q_base queries;
   let lat = Latency.create () in
   Machine.set_phase m "lookup";
@@ -27,6 +30,7 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
         Index.Buffered.process_batch buffered ~queries:(q_base + !off)
           ~results:(r_base + !off) ~n:len;
         Machine.sync m;
+        Machine.sample_residency m;
         (* Every query of the batch waits for the whole batch: residence
            time = batch processing duration. *)
         let resp = Engine.now eng -. started in
@@ -85,4 +89,5 @@ let run (sc : Workload.Scenario.t) ~keys ~queries =
     degraded = Run_result.no_degradation;
     serving = None;
     timeline = None;
+    scope = None;
   }

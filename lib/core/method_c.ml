@@ -87,16 +87,30 @@ let run ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries =
   let fallback_idx =
     match fo with
     | None -> [||]
-    | Some _ -> Array.map (fun m -> Index.Sorted_array.build m keys) masters
+    | Some _ ->
+        Array.map
+          (fun m ->
+            let lo = Machine.words_allocated m in
+            let idx = Index.Sorted_array.build m keys in
+            Machine.label_region m ~label:"fallback" ~base:lo
+              ~words:(Machine.words_allocated m - lo);
+            idx)
+          masters
   in
   (* --- One master process per master node. *)
   let spawn_master mi =
     let m = masters.(mi) in
+    let delims_lo = Machine.words_allocated m in
     let delims = Index.Sorted_array.build m (Partition.delimiters part) in
+    Machine.label_region m ~label:"partition" ~base:delims_lo
+      ~words:(Machine.words_allocated m - delims_lo);
     let lo = chunks.(mi) and hi = chunks.(mi + 1) in
-    let q_base = Machine.alloc m (max 1 (hi - lo)) in
+    let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 (hi - lo)) in
     Machine.poke_array m q_base (Array.sub queries lo (hi - lo));
-    let out_bufs = Array.init n_slaves (fun _ -> Machine.alloc m batch_keys) in
+    let out_bufs =
+      Array.init n_slaves (fun _ ->
+          Machine.labelled_alloc m ~label:"mpi_staging" batch_keys)
+    in
     let out_lens = Array.make n_slaves 0 in
     let out_qids = Array.init n_slaves (fun _ -> Array.make batch_keys 0) in
     let flush s =
@@ -136,12 +150,16 @@ let run ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries =
           out_qids.(s).(out_lens.(s)) <- lo + i;
           out_lens.(s) <- out_lens.(s) + 1;
           if out_lens.(s) = cap then flush s;
-          if i land 8191 = 8191 then Machine.sync m
+          if i land 8191 = 8191 then begin
+            Machine.sync m;
+            Machine.sample_residency m
+          end
         done;
         for s = 0 to n_slaves - 1 do
           flush s
         done;
         Machine.sync m;
+        Machine.sample_residency m;
         for s = 0 to n_slaves - 1 do
           Netsim.Network.isend net ~src:mi ~dst:(n_masters + s)
             ~tag:Proto.term_tag ~phase:"control" ~size:0 Proto.Term
@@ -355,4 +373,5 @@ let run ?faults (sc : Workload.Scenario.t) ~variant ~keys ~queries =
     degraded;
     serving = None;
     timeline = None;
+    scope = None;
   }

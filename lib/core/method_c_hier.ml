@@ -93,17 +93,28 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ?faults ~variant ~keys
   let top_delims =
     Array.init (routers - 1) (fun r -> keys.(Partition.base part groups.(r + 1)))
   in
+  let delims_lo = Machine.words_allocated master in
   let delims = Index.Sorted_array.build master top_delims in
+  Machine.label_region master ~label:"partition" ~base:delims_lo
+    ~words:(Machine.words_allocated master - delims_lo);
   (* Master-resident full-key index for resolving dead destinations'
      batches locally (degraded runs only). *)
   let fallback_idx =
     match fo with
     | None -> None
-    | Some _ -> Some (Index.Sorted_array.build master keys)
+    | Some _ ->
+        let lo = Machine.words_allocated master in
+        let idx = Index.Sorted_array.build master keys in
+        Machine.label_region master ~label:"fallback" ~base:lo
+          ~words:(Machine.words_allocated master - lo);
+        Some idx
   in
-  let q_base = Machine.alloc master (max 1 n) in
+  let q_base = Machine.labelled_alloc master ~label:"queries" (max 1 n) in
   Machine.poke_array master q_base queries;
-  let out_bufs = Array.init routers (fun _ -> Machine.alloc master batch_keys) in
+  let out_bufs =
+    Array.init routers (fun _ ->
+        Machine.labelled_alloc master ~label:"mpi_staging" batch_keys)
+  in
   let out_lens = Array.make routers 0 in
   let out_qids = Array.init routers (fun _ -> Array.make batch_keys 0) in
   let flush_master r =
@@ -137,12 +148,16 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ?faults ~variant ~keys
         out_qids.(r).(out_lens.(r)) <- i;
         out_lens.(r) <- out_lens.(r) + 1;
         if out_lens.(r) = master_cap then flush_master r;
-        if i land 8191 = 8191 then Machine.sync master
+        if i land 8191 = 8191 then begin
+          Machine.sync master;
+          Machine.sample_residency master
+        end
       done;
       for r = 0 to routers - 1 do
         flush_master r
       done;
       Machine.sync master;
+      Machine.sample_residency master;
       for r = 0 to routers - 1 do
         Netsim.Network.isend net ~src:0 ~dst:(1 + r) ~tag:Proto.term_tag
           ~phase:"control" ~size:0 Proto.Term
@@ -157,9 +172,20 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ?faults ~variant ~keys
       Array.init (width - 1) (fun i ->
           keys.(Partition.base part (g_lo + i + 1)))
     in
+    let delims_lo = Machine.words_allocated m in
     let delims = Index.Sorted_array.build m local_delims in
-    let rx = [| Machine.alloc m batch_keys; Machine.alloc m batch_keys |] in
-    let out_bufs = Array.init width (fun _ -> Machine.alloc m batch_keys) in
+    Machine.label_region m ~label:"partition" ~base:delims_lo
+      ~words:(Machine.words_allocated m - delims_lo);
+    let rx =
+      [|
+        Machine.labelled_alloc m ~label:"mpi_staging" batch_keys;
+        Machine.labelled_alloc m ~label:"mpi_staging" batch_keys;
+      |]
+    in
+    let out_bufs =
+      Array.init width (fun _ ->
+          Machine.labelled_alloc m ~label:"mpi_staging" batch_keys)
+    in
     let out_lens = Array.make width 0 in
     let out_qids = Array.init width (fun _ -> Array.make batch_keys 0) in
     let flush ls =
@@ -443,4 +469,5 @@ let run (sc : Workload.Scenario.t) ?(routers = 2) ?faults ~variant ~keys
       | Some f -> Failover.degraded f);
     serving = None;
     timeline = None;
+    scope = None;
   }

@@ -77,6 +77,7 @@ type t = {
   degraded : degraded;
   serving : serving option;
   timeline : Obs.Series.t option;
+  scope : Obs.Cachescope.t option;
 }
 
 let per_key_ns t = t.per_key_ns

@@ -129,6 +129,12 @@ type t = {
       (** Windowed time-resolved telemetry ({!Obs.Series}) when the
           caller asked for it ([--timeline]); [None] otherwise.  Built
           from simulated time only, so identical at any worker count. *)
+  scope : Obs.Cachescope.t option;
+      (** Cache-microscope readings (3C classification, reuse-distance
+          profiles, partition residency, set pressure) when the caller
+          asked for them ([--cache-scope]); [None] otherwise.  Driven
+          by the demand stream in simulated order, so identical at any
+          worker count. *)
 }
 
 val per_key_ns : t -> float

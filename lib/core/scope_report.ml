@@ -1,0 +1,163 @@
+let buf_add = Buffer.add_string
+
+let pct num den =
+  if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+(* --------------------------------------------------------------- text *)
+
+let render_node buf node =
+  let name = Obs.Cachescope.node_name node in
+  let hm = Obs.Cachescope.hit_miss node in
+  let c3 = Obs.Cachescope.c3_table node in
+  List.iter
+    (fun (level, (hits, misses)) ->
+      let comp, cap, conf = Obs.Cachescope.c3_totals node ~level in
+      buf_add buf
+        (Printf.sprintf
+           "  %s %s: %d hits / %d misses (%.2f%% miss) | 3C %d compulsory / \
+            %d capacity / %d conflict\n"
+           name level hits misses
+           (pct misses (hits + misses))
+           comp cap conf);
+      (match List.assoc_opt level c3 with
+      | Some phases when List.length phases > 1 ->
+          List.iter
+            (fun (phase, (pc, pcap, pconf)) ->
+              buf_add buf
+                (Printf.sprintf "    %-12s %8d compulsory %8d capacity %8d \
+                                 conflict\n"
+                   phase pc pcap pconf))
+            phases
+      | _ -> ()))
+    hm;
+  (* Reuse-distance quantiles, one line per (level, region) with data. *)
+  List.iter
+    (fun (level, region, cold, snap) ->
+      match Obs.Hist.quantiles_opt snap with
+      | Some (p50, p95, p99) ->
+          buf_add buf
+            (Printf.sprintf
+               "  %s %s reuse[%s]: %d refs, %d cold, distance p50<=%.0f \
+                p95<=%.0f p99<=%.0f\n"
+               name level region snap.Obs.Hist.count cold p50 p95 p99)
+      | None ->
+          if cold > 0 then
+            buf_add buf
+              (Printf.sprintf "  %s %s reuse[%s]: 0 refs, %d cold\n" name
+                 level region cold))
+    (Obs.Cachescope.reuse_profiles node);
+  (* All regions folded: the level's whole working set in one line. *)
+  List.iter
+    (fun (level, cold, snap) ->
+      match Obs.Hist.quantiles_opt snap with
+      | Some (p50, p95, p99) ->
+          buf_add buf
+            (Printf.sprintf
+               "  %s %s reuse[total]: %d refs, %d cold, distance p50<=%.0f \
+                p95<=%.0f p99<=%.0f\n"
+               name level snap.Obs.Hist.count cold p50 p95 p99)
+      | None -> ())
+    (Obs.Cachescope.reuse_totals node);
+  (* Set pressure: one heat row per level, scaled per level so the
+     conflict hot spots stand out regardless of absolute traffic. *)
+  List.iter
+    (fun (level, counts) ->
+      let values = Array.map float_of_int counts in
+      let v_max = Array.fold_left max 1.0 values in
+      buf_add buf
+        (Report.Ascii_plot.heat_row ~v_min:0.0 ~v_max
+           ~label:(Printf.sprintf "%s %s sets" name level)
+           values);
+      buf_add buf "\n")
+    (Obs.Cachescope.set_pressure_bucketed node ~buckets:64);
+  (* Final residency per (level, region). *)
+  let res = Obs.Cachescope.residency node in
+  if res <> [] then begin
+    buf_add buf (Printf.sprintf "  %s residency:" name);
+    List.iter
+      (fun (level, region, frac) ->
+        buf_add buf (Printf.sprintf " %s/%s=%.3f" level region frac))
+      res;
+    buf_add buf "\n"
+  end
+
+let render runs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (label, scope) ->
+      buf_add buf (Printf.sprintf "cache microscope: %s\n" label);
+      List.iter (render_node buf) (Obs.Cachescope.nodes scope))
+    runs;
+  Buffer.contents buf
+
+(* ---------------------------------------------------------------- csv *)
+
+let csv_header = "run,kind,node,level,phase,region,bucket,t0_ns,t1_ns,value"
+
+let row buf ~run ~kind ~node ~level ~phase ~region ~bucket ~t0 ~t1 ~value =
+  buf_add buf
+    (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n" run kind node level
+       phase region bucket t0 t1 value)
+
+let csv runs =
+  let buf = Buffer.create 4096 in
+  buf_add buf csv_header;
+  buf_add buf "\n";
+  List.iter
+    (fun (run, scope) ->
+      List.iter
+        (fun node ->
+          let name = Obs.Cachescope.node_name node in
+          let r ~kind ~level ?(phase = "") ?(region = "") ?(bucket = "")
+              ?(t0 = "") ?(t1 = "") value =
+            row buf ~run ~kind ~node:name ~level ~phase ~region ~bucket ~t0
+              ~t1 ~value
+          in
+          List.iter
+            (fun (level, (hits, misses)) ->
+              r ~kind:"demand" ~level ~bucket:"hits" (string_of_int hits);
+              r ~kind:"demand" ~level ~bucket:"misses" (string_of_int misses))
+            (Obs.Cachescope.hit_miss node);
+          List.iter
+            (fun (level, phases) ->
+              List.iter
+                (fun (phase, (comp, cap, conf)) ->
+                  r ~kind:"3c" ~level ~phase ~bucket:"compulsory"
+                    (string_of_int comp);
+                  r ~kind:"3c" ~level ~phase ~bucket:"capacity"
+                    (string_of_int cap);
+                  r ~kind:"3c" ~level ~phase ~bucket:"conflict"
+                    (string_of_int conf))
+                phases)
+            (Obs.Cachescope.c3_table node);
+          List.iter
+            (fun (level, region, cold, snap) ->
+              if cold > 0 then
+                r ~kind:"reuse" ~level ~region ~bucket:"cold"
+                  (string_of_int cold);
+              List.iter
+                (fun (e, c) ->
+                  r ~kind:"reuse" ~level ~region ~bucket:(string_of_int e)
+                    (string_of_int c))
+                snap.Obs.Hist.buckets)
+            (Obs.Cachescope.reuse_profiles node);
+          List.iter
+            (fun (level, counts) ->
+              Array.iteri
+                (fun i c ->
+                  r ~kind:"setpressure" ~level ~bucket:(string_of_int i)
+                    (string_of_int c))
+                counts)
+            (Obs.Cachescope.set_pressure_bucketed node ~buckets:64);
+          List.iter
+            (fun (at, readings) ->
+              let t = Printf.sprintf "%.0f" at in
+              Array.iter
+                (fun (level, region, frac) ->
+                  r ~kind:"residency" ~level ~region ~t0:t ~t1:t
+                    (Printf.sprintf "%.6f" frac))
+                readings)
+            (Obs.Cachescope.samples node))
+        (Obs.Cachescope.nodes scope))
+    runs;
+  Buffer.contents buf

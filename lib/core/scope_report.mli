@@ -1,0 +1,26 @@
+(** Terminal and CSV renderings of {!Obs.Cachescope} readings.
+
+    The text report shows, per labelled run and per node: demand
+    hit/miss totals and the 3C miss split per cache level, per-phase 3C
+    breakdowns, reuse-distance quantiles per address region,
+    set-pressure heat rows ({!Report.Ascii_plot.heat_row}, one row per
+    level, shared scale per node) and the final partition-residency
+    readings.  The CSV flattens the same readings into long-format rows
+    for plotting.  Both are pure functions of the scope, so output is
+    byte-identical at any worker count. *)
+
+val render : (string * Obs.Cachescope.t) list -> string
+(** Concatenated per-run reports; [""] when the list is empty. *)
+
+val csv_header : string
+(** [run,kind,node,level,phase,region,bucket,t0_ns,t1_ns,value] —
+    [kind] is one of [demand] (bucket [hits]/[misses]), [3c] (bucket
+    [compulsory]/[capacity]/[conflict], per phase), [reuse] (bucket =
+    power-of-two distance exponent, or [cold] for first touches, per
+    region), [setpressure] (bucket = set-range index, 64 ranges) and
+    [residency] (per region; [t0_ns]=[t1_ns]= sample time, value =
+    resident fraction). *)
+
+val csv : (string * Obs.Cachescope.t) list -> string
+(** Header plus one row per reading, runs in order, nodes in
+    registration order, phases/regions sorted. *)

@@ -184,7 +184,16 @@ let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
     Array.init n_nodes (fun i ->
         Machine.create eng ~name:(Printf.sprintf "node%d" i) params)
   in
-  let trees = Array.map (fun m -> Index.Nary_tree.build m keys) machines in
+  let trees =
+    Array.map
+      (fun m ->
+        let lo = Machine.words_allocated m in
+        let tree = Index.Nary_tree.build m keys in
+        Machine.label_region m ~label:"partition" ~base:lo
+          ~words:(Machine.words_allocated m - lo);
+        tree)
+      machines
+  in
   let assign = round_robin n n_nodes in
   let lat = Latency.create () in
   let errors = ref 0 in
@@ -193,8 +202,8 @@ let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
     (fun node my ->
       let m = machines.(node) in
       let cnt = Array.length my in
-      let q_base = Machine.alloc m (max 1 cnt) in
-      let r_base = Machine.alloc m (max 1 cnt) in
+      let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 cnt) in
+      let r_base = Machine.labelled_alloc m ~label:"results" (max 1 cnt) in
       r_bases.(node) <- r_base;
       Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
       Machine.set_phase m "serve";
@@ -214,7 +223,8 @@ let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
               done_at.(qid) <- fin;
               note_tail ~qid ~batch:1 ~arrived:t ~started:start_at.(qid)
                 ~finished:fin;
-              Latency.add lat (fin -. t))
+              Latency.add lat (fin -. t);
+              if qid land 63 = 0 then Machine.sample_residency m)
             my))
     assign;
   Engine.run eng;
@@ -266,6 +276,7 @@ let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
     degraded = Run_result.no_degradation;
     serving = Some (finish ());
     timeline = None;
+    scope = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -291,7 +302,11 @@ let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
   let buffered =
     Array.map
       (fun m ->
-        Index.Buffered.create ~max_batch:batch_keys (Index.Nary_tree.build m keys))
+        let lo = Machine.words_allocated m in
+        let tree = Index.Nary_tree.build m keys in
+        Machine.label_region m ~label:"partition" ~base:lo
+          ~words:(Machine.words_allocated m - lo);
+        Index.Buffered.create ~max_batch:batch_keys tree)
       machines
   in
   let assign = round_robin n n_nodes in
@@ -302,8 +317,8 @@ let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
     (fun node my ->
       let m = machines.(node) in
       let cnt = Array.length my in
-      let q_base = Machine.alloc m (max 1 cnt) in
-      let r_base = Machine.alloc m (max 1 cnt) in
+      let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 cnt) in
+      let r_base = Machine.labelled_alloc m ~label:"results" (max 1 cnt) in
       r_bases.(node) <- r_base;
       Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
       Machine.set_phase m "serve";
@@ -337,6 +352,7 @@ let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
                 ~started ~finished:fin;
               Latency.add lat (fin -. arrivals.(qid))
             done;
+            Machine.sample_residency m;
             pos := !j
           done))
     assign;
@@ -392,6 +408,7 @@ let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
     degraded = Run_result.no_degradation;
     serving = Some (finish ());
     timeline = None;
+    scope = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -477,16 +494,30 @@ let serve_c ?faults ?series (sc : Workload.Scenario.t) ~variant ~keys ~queries
   let fallback_idx =
     match fo with
     | None -> [||]
-    | Some _ -> Array.map (fun m -> Index.Sorted_array.build m keys) masters
+    | Some _ ->
+        Array.map
+          (fun m ->
+            let lo = Machine.words_allocated m in
+            let idx = Index.Sorted_array.build m keys in
+            Machine.label_region m ~label:"fallback" ~base:lo
+              ~words:(Machine.words_allocated m - lo);
+            idx)
+          masters
   in
   let spawn_master mi =
     let m = masters.(mi) in
+    let delims_lo = Machine.words_allocated m in
     let delims = Index.Sorted_array.build m (Partition.delimiters part) in
+    Machine.label_region m ~label:"partition" ~base:delims_lo
+      ~words:(Machine.words_allocated m - delims_lo);
     let my = assign.(mi) in
     let cnt = Array.length my in
-    let q_base = Machine.alloc m (max 1 cnt) in
+    let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 cnt) in
     Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
-    let out_bufs = Array.init n_slaves (fun _ -> Machine.alloc m batch_keys) in
+    let out_bufs =
+      Array.init n_slaves (fun _ ->
+          Machine.labelled_alloc m ~label:"mpi_staging" batch_keys)
+    in
     let out_lens = Array.make n_slaves 0 in
     let out_qids = Array.init n_slaves (fun _ -> Array.make batch_keys 0) in
     let flush s =
@@ -536,12 +567,14 @@ let serve_c ?faults ?series (sc : Workload.Scenario.t) ~variant ~keys ~queries
           Machine.write m (out_bufs.(s) + out_lens.(s)) q;
           out_qids.(s).(out_lens.(s)) <- qid;
           out_lens.(s) <- out_lens.(s) + 1;
-          if out_lens.(s) = cap then flush s
+          if out_lens.(s) = cap then flush s;
+          if qid land 63 = 0 then Machine.sample_residency m
         done;
         for s = 0 to n_slaves - 1 do
           flush s
         done;
         Machine.sync m;
+        Machine.sample_residency m;
         for s = 0 to n_slaves - 1 do
           Netsim.Network.isend net ~src:mi ~dst:(n_masters + s)
             ~tag:Proto.term_tag ~phase:"control" ~size:0 Proto.Term
@@ -734,6 +767,7 @@ let serve_c ?faults ?series (sc : Workload.Scenario.t) ~variant ~keys ~queries
     degraded;
     serving = Some (finish ());
     timeline = None;
+    scope = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -798,6 +832,26 @@ let run_method ?faults ?(timeline = false) ?timeline_window_ns
             if done_at.(i) >= 0.0 then
               Obs.Series.note_delivery b ~arrived:at ~finished:done_at.(i))
           arrivals;
+        (* When the cache microscope is on, replay each node's L2
+           partition-residency samples as gauge lanes so the timeline
+           shows the index being evicted (and re-warmed) in place. *)
+        (match Obs.Cachescope.current () with
+        | Some sc ->
+            List.iter
+              (fun node ->
+                let lane =
+                  "resid:" ^ Obs.Cachescope.node_name node
+                in
+                List.iter
+                  (fun (at, readings) ->
+                    Array.iter
+                      (fun (level, region, frac) ->
+                        if level = "L2" && region = "partition" then
+                          Obs.Series.note_gauge b ~lane ~at frac)
+                      readings)
+                  (Obs.Cachescope.samples node))
+              (Obs.Cachescope.nodes sc)
+        | None -> ());
         { run with Run_result.timeline = Some (Obs.Series.finish b) }
   in
   match run.Run_result.serving with

@@ -6,19 +6,25 @@ type index =
   | S_array of Index.Sorted_array.t
 
 let build variant machine slice ~batch_keys ~(params : Cachesim.Mem_params.t) =
-  match (variant : Methods.id) with
-  | Methods.C1 -> S_csb (Index.Csb_tree.build machine slice)
-  | Methods.C2 ->
-      let tree = Index.Nary_tree.build machine slice in
-      (* Zhou-Ross buffering against the L1: subtrees must fit in half the
-         L1 alongside their buffers (Section 3.2). *)
-      S_buffered
-        (Index.Buffered.create
-           ~budget_bytes:(params.Cachesim.Mem_params.l1_size / 2)
-           ~max_batch:batch_keys tree)
-  | Methods.C3 -> S_array (Index.Sorted_array.build machine slice)
-  | Methods.A | Methods.B ->
-      invalid_arg "Slave_node.build: variant must be C-1, C-2 or C-3"
+  let lo = Machine.words_allocated machine in
+  let index =
+    match (variant : Methods.id) with
+    | Methods.C1 -> S_csb (Index.Csb_tree.build machine slice)
+    | Methods.C2 ->
+        let tree = Index.Nary_tree.build machine slice in
+        (* Zhou-Ross buffering against the L1: subtrees must fit in half
+           the L1 alongside their buffers (Section 3.2). *)
+        S_buffered
+          (Index.Buffered.create
+             ~budget_bytes:(params.Cachesim.Mem_params.l1_size / 2)
+             ~max_batch:batch_keys tree)
+    | Methods.C3 -> S_array (Index.Sorted_array.build machine slice)
+    | Methods.A | Methods.B ->
+        invalid_arg "Slave_node.build: variant must be C-1, C-2 or C-3"
+  in
+  Machine.label_region machine ~label:"partition" ~base:lo
+    ~words:(Machine.words_allocated machine - lo);
+  index
 
 let overflow_flushes = function
   | S_buffered b -> Index.Buffered.overflow_flushes b
@@ -28,8 +34,13 @@ let spawn eng net m ~node ~terms_expected ~batch_keys ~index ~reply_dst
     ~overhead_ns ?batch_profile ?faults () =
   let params = Machine.params m in
   let word = params.Cachesim.Mem_params.word_bytes in
-  let rx = [| Machine.alloc m batch_keys; Machine.alloc m batch_keys |] in
-  let reply = Machine.alloc m batch_keys in
+  let rx =
+    [|
+      Machine.labelled_alloc m ~label:"mpi_staging" batch_keys;
+      Machine.labelled_alloc m ~label:"mpi_staging" batch_keys;
+    |]
+  in
+  let reply = Machine.labelled_alloc m ~label:"mpi_staging" batch_keys in
   let slow_factor =
     match faults with
     | Some plan -> Fault.Plan.slow_factor plan ~node
@@ -102,6 +113,7 @@ let spawn eng net m ~node ~terms_expected ~batch_keys ~index ~reply_dst
             Machine.set_phase m "batch_xfer";
             Machine.compute m overhead_ns;
             Machine.sync m;
+            Machine.sample_residency m;
             (match batch_profile with
             | Some tbl ->
                 (* The batch's cost decomposition at this slave, for the

@@ -110,6 +110,23 @@ let timeline_document ~generator ~fields runs =
              runs) );
     ]
 
+let cachescope_document ~generator ~fields runs =
+  let manifest = Obs.Manifest.create ~generator ~host:(host_fields ()) fields in
+  Obs.Json.Obj
+    [
+      ("manifest", Obs.Manifest.to_json manifest);
+      ( "runs",
+        Obs.Json.List
+          (List.map
+             (fun (label, scope) ->
+               Obs.Json.Obj
+                 [
+                   ("run", Obs.Json.String label);
+                   ("cachescope", Obs.Cachescope.to_json scope);
+                 ])
+             runs) );
+    ]
+
 let write_json path json =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Obs.Json.to_string json))

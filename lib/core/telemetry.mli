@@ -67,4 +67,13 @@ val timeline_document :
     run's {!Obs.Series.to_json}.  Deterministic under
     [SOURCE_DATE_EPOCH] at any worker count. *)
 
+val cachescope_document :
+  generator:string ->
+  fields:(string * Obs.Json.t) list ->
+  (string * Obs.Cachescope.t) list ->
+  Obs.Json.t
+(** [{manifest, runs: [{run, cachescope}]}] — the [--cache-scope
+    BASE.json] file over each labelled run's {!Obs.Cachescope.to_json}.
+    Deterministic under [SOURCE_DATE_EPOCH] at any worker count. *)
+
 val write_json : string -> Obs.Json.t -> unit

@@ -12,11 +12,18 @@ type t = {
 let initial_words = 1 lsl 16
 
 let create eng ?(name = "node") (p : Cachesim.Mem_params.t) =
+  let hier = Cachesim.Hierarchy.create p in
+  (* A machine built while a cache scope is ambiently recording becomes
+     one of its nodes; otherwise the hierarchy stays unscoped and the
+     per-access hooks are a [None] check. *)
+  (match Obs.Cachescope.current () with
+  | Some sc -> ignore (Cachesim.Hierarchy.attach_scope hier sc ~node_name:name)
+  | None -> ());
   {
     eng;
     node_name = name;
     p;
-    hier = Cachesim.Hierarchy.create p;
+    hier;
     mem = Array.make initial_words 0;
     brk = 0;
     pending = 0.0;
@@ -125,6 +132,23 @@ let dma_write t a data =
     ~bytes:(Array.length data * t.p.word_bytes)
 
 let flush_caches t = Cachesim.Hierarchy.flush t.hier
+
+let label_region t ~label ~base ~words =
+  match Cachesim.Hierarchy.scope t.hier with
+  | Some node ->
+      Obs.Cachescope.label_region node ~label ~lo:(base * t.p.word_bytes)
+        ~hi:((base + words) * t.p.word_bytes)
+  | None -> ()
+
+let labelled_alloc t ?align_words ~label n =
+  let base = alloc t ?align_words n in
+  label_region t ~label ~base ~words:n;
+  base
+
+let sample_residency t =
+  match Cachesim.Hierarchy.scope t.hier with
+  | Some node -> Obs.Cachescope.sample node ~at:(Simcore.Engine.now t.eng)
+  | None -> ()
 
 let record_metrics t reg =
   let labels = [ ("node", t.node_name) ] in

@@ -89,6 +89,27 @@ val dma_write : t -> int -> int array -> unit
 val flush_caches : t -> unit
 (** Cold-start the node's caches and TLB. *)
 
+(** {2 Cache microscope}
+
+    All three are no-ops (no allocation, one option match) unless the
+    machine was created while an {!Obs.Cachescope} was ambiently
+    recording — in that case {!create} registered this node's
+    hierarchy with it. *)
+
+val label_region : t -> label:string -> base:int -> words:int -> unit
+(** Attribute the word range [[base, base+words)] to a semantic region
+    ("partition", "queries", "mpi_staging", ...) for reuse-distance and
+    residency telemetry.  Label a range before accessing it. *)
+
+val labelled_alloc : t -> ?align_words:int -> label:string -> int -> int
+(** {!alloc} + {!label_region} in one step. *)
+
+val sample_residency : t -> unit
+(** Freeze the current per-(level, region) residency fractions at the
+    engine's current simulated time.  Drivers call this at sync points,
+    so the sample times — and therefore the exported series — are
+    byte-identical at any worker-domain count. *)
+
 val record_metrics : t -> Obs.Metrics.t -> unit
 (** Dump the node's accounting into a metrics registry — [node_busy_ns]
     (counter), [node_words_allocated] (gauge) and the full cache-hierarchy

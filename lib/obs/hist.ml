@@ -59,6 +59,18 @@ let add_snapshot (t : t) (s : snapshot) =
       Hashtbl.replace t.buckets e (cur + c))
     s.buckets
 
+let merge_into (dst : t) (src : t) =
+  if dst == src then invalid_arg "Hist.merge_into: dst and src must differ";
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v;
+  Hashtbl.iter
+    (fun e c ->
+      let cur = Option.value (Hashtbl.find_opt dst.buckets e) ~default:0 in
+      Hashtbl.replace dst.buckets e (cur + c))
+    src.buckets
+
 let snapshot (t : t) : snapshot =
   {
     count = t.count;

@@ -36,6 +36,14 @@ val add_snapshot : t -> snapshot -> unit
 (** Merge a snapshot into a live histogram (exact: counts, sum, min and
     max all combine without rebinning). *)
 
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src] into [dst] in place without
+    materialising either side as a snapshot — the allocation-free
+    counterpart of [add_snapshot dst (snapshot src)], for folds that
+    combine many live histograms (e.g. per-window reuse-distance
+    profiles over a long serve run).  [src] is left untouched; [dst]
+    and [src] must not be the same histogram. *)
+
 val empty : snapshot
 val merge : snapshot -> snapshot -> snapshot
 (** Pointwise sum; [min]/[max] combine accordingly. *)

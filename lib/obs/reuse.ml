@@ -1,0 +1,129 @@
+(* Exact LRU stack-distance tracking over an integer key stream.
+
+   The classic structure: every live key holds a timestamp slot in a
+   Fenwick tree; the stack distance of a re-reference is the number of
+   live keys stamped after the previous reference, which is one prefix
+   sum.  Timestamps grow monotonically, so the tree is periodically
+   compacted (live stamps renumbered densely) to keep memory
+   proportional to the number of distinct keys rather than the number
+   of references. *)
+
+type outcome = Cold | Dist of int | Far
+
+type t = {
+  bound : int option;
+  mutable time : int;  (* last stamp handed out (1-based) *)
+  mutable cap : int;  (* Fenwick capacity; compaction when time hits it *)
+  mutable tree : int array;  (* 1-based Fenwick over stamps, 0/1 weights *)
+  last : (int, int) Hashtbl.t;  (* key -> current stamp *)
+  seen : (int, unit) Hashtbl.t;  (* bounded mode: keys ever referenced *)
+}
+
+let initial_cap = 1024
+
+let create ?bound () =
+  (match bound with
+  | Some b when b <= 0 -> invalid_arg "Reuse.create: bound must be positive"
+  | _ -> ());
+  {
+    bound;
+    time = 0;
+    cap = initial_cap;
+    tree = Array.make (initial_cap + 1) 0;
+    last = Hashtbl.create 256;
+    seen = Hashtbl.create 256;
+  }
+
+let fw_add t i d =
+  let i = ref i in
+  while !i <= t.cap do
+    t.tree.(!i) <- t.tree.(!i) + d;
+    i := !i + (!i land (- !i))
+  done
+
+let fw_prefix t i =
+  let i = ref i and s = ref 0 in
+  while !i > 0 do
+    s := !s + t.tree.(!i);
+    i := !i - (!i land (- !i))
+  done;
+  !s
+
+(* Renumber live stamps densely.  In bounded mode, also drop the oldest
+   entries beyond [2 * bound]: a key without a stamp later re-reads as
+   [Far], which is exact for the only question a bounded tracker is
+   asked ("was the distance under the bound?"). *)
+let compact t =
+  let pairs =
+    Hashtbl.fold (fun k s acc -> (s, k) :: acc) t.last []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let pairs =
+    match t.bound with
+    | None -> pairs
+    | Some b ->
+        let keep = max (2 * b) initial_cap in
+        let n = List.length pairs in
+        if n <= keep then pairs
+        else begin
+          let dropped = ref (n - keep) in
+          List.filter
+            (fun (_, k) ->
+              if !dropped > 0 then begin
+                decr dropped;
+                Hashtbl.remove t.last k;
+                false
+              end
+              else true)
+            pairs
+        end
+  in
+  let n = List.length pairs in
+  t.cap <- max initial_cap (4 * n);
+  t.tree <- Array.make (t.cap + 1) 0;
+  t.time <- 0;
+  List.iter
+    (fun (_, k) ->
+      t.time <- t.time + 1;
+      fw_add t t.time 1;
+      Hashtbl.replace t.last k t.time)
+    pairs
+
+let stamp t key =
+  if t.time >= t.cap then compact t;
+  t.time <- t.time + 1;
+  fw_add t t.time 1;
+  Hashtbl.replace t.last key t.time
+
+let note t key =
+  match Hashtbl.find_opt t.last key with
+  | Some old ->
+      let live = Hashtbl.length t.last in
+      let d = live - fw_prefix t old in
+      fw_add t old (-1);
+      (* Drop the stale mapping before restamping: [stamp] may compact,
+         and compaction rebuilds the tree from [last] — a leftover entry
+         would resurrect the stamp we just retired. *)
+      Hashtbl.remove t.last key;
+      stamp t key;
+      Dist d
+  | None ->
+      let outcome =
+        match t.bound with
+        | None -> Cold
+        | Some _ ->
+            if Hashtbl.mem t.seen key then Far
+            else begin
+              Hashtbl.replace t.seen key ();
+              Cold
+            end
+      in
+      stamp t key;
+      outcome
+
+let distinct t =
+  match t.bound with
+  | None -> Hashtbl.length t.last
+  | Some _ -> Hashtbl.length t.seen
+
+let tracked t = Hashtbl.length t.last

@@ -1,0 +1,41 @@
+(** Exact LRU stack-distance tracking over an integer key stream.
+
+    [note] reports, for each reference, how many {e distinct other}
+    keys were referenced since the previous reference to the same key —
+    the classic stack (reuse) distance.  A fully-associative LRU cache
+    of capacity [c] hits a reference iff its distance [d] satisfies
+    [d < c], which is what makes one tracker serve simultaneously as a
+    reuse-distance profiler and as the shadow fully-associative cache
+    of the 3C miss classification (capacity vs conflict).
+
+    The implementation is the standard timestamp + Fenwick-tree
+    structure: O(log n) per reference amortised, memory proportional to
+    the number of distinct keys (stamps are compacted periodically, so
+    unbounded reference streams do not grow the tree). *)
+
+type t
+
+type outcome =
+  | Cold  (** First reference to this key ever. *)
+  | Dist of int  (** Exact stack distance (0 = immediate re-reference). *)
+  | Far
+      (** Bounded mode only: the key was seen before but its stamp was
+          retired, so the distance is known only to be [>= bound]. *)
+
+val create : ?bound:int -> unit -> t
+(** Exact by default.  With [bound] (positive), the tracker keeps
+    stamps for at least the [2 * bound] most recently referenced keys
+    and retires older ones — distances below the bound stay exact,
+    larger ones degrade to {!Far}.  Use it when the distinct-key
+    population is huge and only "under the bound?" matters (e.g. the
+    bound is the cache capacity in lines). *)
+
+val note : t -> int -> outcome
+(** Record one reference and return its distance classification. *)
+
+val distinct : t -> int
+(** Number of distinct keys ever referenced. *)
+
+val tracked : t -> int
+(** Keys currently holding an exact stamp ([= distinct] in exact
+    mode). *)

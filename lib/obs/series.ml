@@ -19,6 +19,7 @@ type window = {
   lost : int;
   queue_depth : int;
   busy : (string * float) list;
+  gauges : (string * float) list;
   retries : int;
   redispatches : int;
   fallbacks : int;
@@ -52,6 +53,8 @@ type builder = {
   mutable redispatches : int array;
   mutable fallbacks : int array;
   busy : (string, float array) Hashtbl.t;  (* arrays of length [cap] *)
+  g_samples : (string, (float * float) list ref) Hashtbl.t;
+      (* gauge lane -> (at, value) samples, reverse recording order *)
   mutable events : event list;  (* reverse recording order *)
 }
 
@@ -86,6 +89,7 @@ let builder ~window_ns ~slo_ns ?(budget = 0.01) ?horizon_ns () =
     redispatches = Array.make cap 0;
     fallbacks = Array.make cap 0;
     busy = Hashtbl.create 8;
+    g_samples = Hashtbl.create 8;
     events = [];
   }
 
@@ -171,6 +175,18 @@ let bump get b ~at n =
   let arr = get b in
   arr.(i) <- arr.(i) + n
 
+let note_gauge b ~lane ~at v =
+  ensure b (index_of b at);
+  let samples =
+    match Hashtbl.find_opt b.g_samples lane with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace b.g_samples lane r;
+        r
+  in
+  samples := (at, v) :: !samples
+
 let note_retry b ~at ?(n = 1) () = bump (fun b -> b.retries) b ~at n
 let note_redispatch b ~at ?(n = 1) () = bump (fun b -> b.redispatches) b ~at n
 let note_fallback b ~at ?(n = 1) () = bump (fun b -> b.fallbacks) b ~at n
@@ -181,6 +197,34 @@ let finish b =
   let lanes =
     Hashtbl.fold (fun lane _ acc -> lane :: acc) b.busy []
     |> List.sort String.compare
+  in
+  (* Gauge lanes are boundary samples carried forward: window [i] holds
+     the last value sampled before its end (0. before the first
+     sample). *)
+  let g_values =
+    Hashtbl.fold (fun lane _ acc -> lane :: acc) b.g_samples []
+    |> List.sort String.compare
+    |> List.map (fun lane ->
+           let samples =
+             List.stable_sort
+               (fun (a, _) (b, _) -> Float.compare a b)
+               (List.rev !(Hashtbl.find b.g_samples lane))
+           in
+           let out = Array.make (max 1 b.n) 0.0 in
+           let cur = ref 0.0 and rest = ref samples in
+           for i = 0 to b.n - 1 do
+             let t1 = float_of_int (i + 1) *. b.w_ns in
+             let continue = ref true in
+             while !continue do
+               match !rest with
+               | (at, v) :: tl when at < t1 ->
+                   cur := v;
+                   rest := tl
+               | _ -> continue := false
+             done;
+             out.(i) <- !cur
+           done;
+           (lane, out))
   in
   let in_system = ref 0 in
   let windows =
@@ -198,6 +242,7 @@ let finish b =
           queue_depth = !in_system;
           busy =
             List.map (fun lane -> (lane, (Hashtbl.find b.busy lane).(i))) lanes;
+          gauges = List.map (fun (lane, arr) -> (lane, arr.(i))) g_values;
           retries = b.retries.(i);
           redispatches = b.redispatches.(i);
           fallbacks = b.fallbacks.(i);
@@ -238,6 +283,11 @@ let lanes t =
   match t.windows with
   | [||] -> []
   | ws -> List.map fst ws.(0).busy
+
+let gauge_lanes t =
+  match t.windows with
+  | [||] -> []
+  | ws -> List.map fst ws.(0).gauges
 
 let knee t =
   let n = Array.length t.windows in
@@ -300,6 +350,7 @@ let rebin t ~factor =
             lost = sum (fun w -> w.lost);
             queue_depth = t.windows.(hi - 1).queue_depth;
             busy = fold (fun a w -> assoc_merge a w.busy) [];
+            gauges = t.windows.(hi - 1).gauges;
             retries = sum (fun w -> w.retries);
             redispatches = sum (fun w -> w.redispatches);
             fallbacks = sum (fun w -> w.fallbacks);
@@ -312,8 +363,18 @@ let rebin t ~factor =
 
 let window_json t w =
   let p50, p95, p99 = Hist.quantiles w.latency in
+  (* Gauge lanes appear only when something was sampled, so series
+     without gauges export exactly as before. *)
+  let gauges =
+    if w.gauges = [] then []
+    else
+      [
+        ( "gauges",
+          Json.Obj (List.map (fun (l, v) -> (l, Json.Float v)) w.gauges) );
+      ]
+  in
   Json.Obj
-    [
+    ([
       ("index", Json.Int w.index);
       ("t0_ns", Json.Float w.t0_ns);
       ("t1_ns", Json.Float w.t1_ns);
@@ -328,21 +389,33 @@ let window_json t w =
       ("max_ns", Json.Float (if w.latency.Hist.count = 0 then 0.0 else w.latency.Hist.max_v));
       ("queue_depth", Json.Int w.queue_depth);
       ("busy_ns", Json.Obj (List.map (fun (l, v) -> (l, Json.Float v)) w.busy));
-      ("violations", Json.Int w.violations);
-      ("burn_rate", Json.Float (burn_rate t w));
-      ("lost", Json.Int w.lost);
-      ("retries", Json.Int w.retries);
-      ("redispatches", Json.Int w.redispatches);
-      ("fallbacks", Json.Int w.fallbacks);
     ]
+    @ gauges
+    @ [
+        ("violations", Json.Int w.violations);
+        ("burn_rate", Json.Float (burn_rate t w));
+        ("lost", Json.Int w.lost);
+        ("retries", Json.Int w.retries);
+        ("redispatches", Json.Int w.redispatches);
+        ("fallbacks", Json.Int w.fallbacks);
+      ])
 
 let to_json t =
+  let gauge_lane_field =
+    match gauge_lanes t with
+    | [] -> []
+    | ls ->
+        [ ("gauge_lanes", Json.List (List.map (fun l -> Json.String l) ls)) ]
+  in
   Json.Obj
-    [
+    ([
       ("window_ns", Json.Float t.window_ns);
       ("slo_ns", Json.Float t.slo_ns);
       ("budget", Json.Float t.budget);
       ("lanes", Json.List (List.map (fun l -> Json.String l) (lanes t)));
+    ]
+    @ gauge_lane_field
+    @ [
       ( "knee_window",
         match knee t with None -> Json.Null | Some i -> Json.Int i );
       ( "windows",
@@ -357,4 +430,4 @@ let to_json t =
                    ("label", Json.String e.label);
                  ])
              t.events) );
-    ]
+    ])

@@ -38,6 +38,11 @@ type window = {
   busy : (string * float) list;
       (** Per-lane busy nanoseconds inside the window, every noted lane
           present, sorted by lane name. *)
+  gauges : (string * float) list;
+      (** Per-lane boundary gauges ({!note_gauge}): the last value
+          sampled before the window's end, carried forward ([0.] before
+          the first sample); every noted lane present, sorted.  Empty
+          when nothing was sampled. *)
   retries : int;  (** Failover re-sends issued in this window. *)
   redispatches : int;
   fallbacks : int;  (** Queries resolved by master-local fallback. *)
@@ -79,6 +84,12 @@ val note_lost : builder -> at:float -> unit
 val note_busy : builder -> lane:string -> t0:float -> t1:float -> unit
 (** Distribute a busy span over the windows it overlaps. *)
 
+val note_gauge : builder -> lane:string -> at:float -> float -> unit
+(** Sample an instantaneous reading (e.g. a partition-residency
+    fraction) on a named gauge lane.  Windows report the last sample
+    before their end, carried forward — a boundary gauge like
+    [queue_depth], so {!rebin} takes the last sub-window. *)
+
 val note_retry : builder -> at:float -> ?n:int -> unit -> unit
 val note_redispatch : builder -> at:float -> ?n:int -> unit -> unit
 val note_fallback : builder -> at:float -> ?n:int -> unit -> unit
@@ -106,6 +117,9 @@ val burn_rate : t -> window -> float
 
 val lanes : t -> string list
 (** Every lane that ever noted busy time, sorted. *)
+
+val gauge_lanes : t -> string list
+(** Every gauge lane ever sampled, sorted. *)
 
 val knee : t -> int option
 (** Saturation-onset detector: the first window [w >= 1] where the

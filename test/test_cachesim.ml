@@ -345,6 +345,137 @@ let test_pentium4_profile_sane () =
   check_float "cold miss costs tlb+b2"
     (p.Mem_params.tlb_penalty_ns +. p.Mem_params.b2_penalty_ns) c
 
+(* ------------------------------------------------------------------ *)
+(* Cache microscope *)
+
+(* A hierarchy small enough to classify by hand: 4-line direct-mapped
+   L1 (4 sets), 8-line fully-associative L2. *)
+let tiny_params =
+  {
+    p3 with
+    Mem_params.name = "tiny";
+    l1_size = 4 * 32;
+    l1_line = 32;
+    l1_ways = 1;
+    l2_size = 8 * 32;
+    l2_line = 32;
+    l2_ways = 8;
+  }
+
+let test_scope_3c_oracle () =
+  let h = Hierarchy.create tiny_params in
+  let sc = Obs.Cachescope.create () in
+  let node = Hierarchy.attach_scope h sc ~node_name:"n0" in
+  (* Lines 0-3 are the "partition"; lines 4+ fall to "other". *)
+  Obs.Cachescope.label_region node ~label:"partition" ~lo:0 ~hi:128;
+  (* Reference stream, by line number.  Direct-mapped L1 (set = line
+     mod 4): 0 and 4 fight over set 0, 1 and 5 over set 1.
+       0 miss (first touch)            -> compulsory
+       4 miss (first touch)            -> compulsory
+       0 miss, stack distance 1 < 4    -> conflict (a 4-line LRU holds it)
+       1 miss (first touch)            -> compulsory
+       2 miss (first touch)            -> compulsory
+       3 miss (first touch)            -> compulsory
+       5 miss (first touch)            -> compulsory
+       0 HIT  (set 0 kept it)
+       1 miss, stack distance 4 >= 4   -> capacity (even LRU evicts it)
+     The L2 stream is the eight L1 misses; all fit in 8 ways, so its
+     only misses are the six first touches. *)
+  List.iter
+    (fun line -> ignore (Hierarchy.access h ~addr:(line * 32) ~write:false))
+    [ 0; 4; 0; 1; 2; 3; 5; 0; 1 ];
+  check_bool "L1 hits/misses" true
+    (List.assoc "L1" (Obs.Cachescope.hit_miss node) = (1, 8));
+  check_bool "L2 hits/misses" true
+    (List.assoc "L2" (Obs.Cachescope.hit_miss node) = (2, 6));
+  let com1, cap1, con1 = Obs.Cachescope.c3_totals node ~level:"L1" in
+  check_int "L1 compulsory" 6 com1;
+  check_int "L1 capacity" 1 cap1;
+  check_int "L1 conflict" 1 con1;
+  let com2, cap2, con2 = Obs.Cachescope.c3_totals node ~level:"L2" in
+  check_int "L2 compulsory" 6 com2;
+  check_int "L2 capacity" 0 cap2;
+  check_int "L2 conflict" 0 con2;
+  (* Demand misses per set: 0 and 4 collide in set 0, 1 and 5 in set 1. *)
+  check_bool "L1 set pressure" true
+    (List.assoc "L1" (Obs.Cachescope.set_pressure node) = [| 3; 3; 1; 1 |]);
+  check_bool "L2 set pressure" true
+    (List.assoc "L2" (Obs.Cachescope.set_pressure node) = [| 6 |]);
+  (* Reuse profile: partition lines 0-3 are 4 cold touches plus the 3
+     re-references (two of line 0, one of line 1); 4 and 5 never
+     re-reference. *)
+  let profile region =
+    List.find_map
+      (fun (level, rg, cold, hist) ->
+        if level = "L1" && rg = region then Some (cold, hist) else None)
+      (Obs.Cachescope.reuse_profiles node)
+  in
+  (match profile "partition" with
+  | Some (cold, hist) ->
+      check_int "partition cold lines" 4 cold;
+      check_int "partition re-references" 3 hist.Obs.Hist.count
+  | None -> Alcotest.fail "partition reuse profile missing");
+  (match profile "other" with
+  | Some (cold, hist) ->
+      check_int "other cold lines" 2 cold;
+      check_int "other re-references" 0 hist.Obs.Hist.count
+  | None -> Alcotest.fail "other reuse profile missing");
+  (* All four partition lines ended up resident at both levels; an
+     invalidation (the DMA path) drops the fraction. *)
+  let resid level =
+    List.find_map
+      (fun (lv, rg, f) ->
+        if lv = level && rg = "partition" then Some f else None)
+      (Obs.Cachescope.residency node)
+    |> Option.get
+  in
+  check_float "L1 partition residency" 1.0 (resid "L1");
+  check_float "L2 partition residency" 1.0 (resid "L2");
+  Hierarchy.invalidate_range h ~addr:0 ~bytes:64;
+  check_float "L1 residency after invalidate" 0.5 (resid "L1");
+  check_float "L2 residency after invalidate" 0.5 (resid "L2")
+
+let test_prefetch_attribution () =
+  (* Sequential scan: the first miss trains a stream, every later miss
+     extends it, consuming the previous prediction. *)
+  let h = Hierarchy.create p3 in
+  for line = 0 to 63 do
+    ignore (Hierarchy.access h ~addr:(line * 32) ~write:false)
+  done;
+  let s = Hierarchy.stats h in
+  check_int "demand seq misses" 63 s.Hierarchy.seq_misses;
+  check_int "demand rand misses" 1 s.Hierarchy.rand_misses;
+  let reg = Obs.Metrics.create () in
+  Hierarchy.record_metrics h reg;
+  let counter name =
+    match Obs.Metrics.Snapshot.find (Obs.Metrics.snapshot reg) name with
+    | Some (Obs.Metrics.Snapshot.Counter v) -> int_of_float v
+    | _ -> Alcotest.failf "counter %s missing" name
+  in
+  check_int "every miss issues a prediction" 64 (counter "prefetch_fills");
+  check_int "sequential run consumes them" 63 (counter "prefetch_useful");
+  check_int "nothing retired unconsumed" 0 (counter "prefetch_useless");
+  (* Stride-2 scan: no stream ever matches, so predictions die unconsumed
+     as the 16 detectors are recycled round-robin. *)
+  let h = Hierarchy.create p3 in
+  for i = 0 to 63 do
+    ignore (Hierarchy.access h ~addr:(i * 2 * 32) ~write:false)
+  done;
+  let s = Hierarchy.stats h in
+  check_int "strided: all demand misses random" 64 s.Hierarchy.rand_misses;
+  check_int "strided: no seq misses" 0 s.Hierarchy.seq_misses;
+  let reg = Obs.Metrics.create () in
+  Hierarchy.record_metrics h reg;
+  let counter name =
+    match Obs.Metrics.Snapshot.find (Obs.Metrics.snapshot reg) name with
+    | Some (Obs.Metrics.Snapshot.Counter v) -> int_of_float v
+    | _ -> Alcotest.failf "counter %s missing" name
+  in
+  check_int "strided: fills" 64 (counter "prefetch_fills");
+  check_int "strided: useful" 0 (counter "prefetch_useful");
+  check_int "strided: useless = recycled detectors" 48
+    (counter "prefetch_useless")
+
 let test_hierarchy_stats_add () =
   let a =
     { Hierarchy.zero_stats with Hierarchy.accesses = 3; cost_ns = 10.0 }
@@ -400,6 +531,11 @@ let () =
           tc "invalidate spans lines" `Quick test_hierarchy_invalidate_range_spans_lines;
           tc "pentium4 profile" `Quick test_pentium4_profile_sane;
           tc "stats add" `Quick test_hierarchy_stats_add;
+        ] );
+      ( "scope",
+        [
+          tc "3C oracle" `Quick test_scope_3c_oracle;
+          tc "prefetch attribution" `Quick test_prefetch_attribution;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -122,6 +122,98 @@ let test_hist_empty_quantiles () =
   check_bool "quantiles_opt non-empty" true
     (Obs.Hist.quantiles_opt s = Some (Obs.Hist.quantiles s))
 
+(* merge_into is the in-place form of merge: folding [src] into a live
+   [dst] equals merging their snapshots, and leaves [src] untouched. *)
+let prop_hist_merge_into =
+  let open QCheck in
+  let vals = small_list (map float_of_int (int_range 0 4096)) in
+  QCheck.Test.make ~count:200 ~name:"hist: merge_into = merge on snapshots"
+    (pair vals vals)
+    (fun (va, vb) ->
+      let fill vs =
+        let h = Obs.Hist.create () in
+        List.iter (Obs.Hist.observe h) vs;
+        h
+      in
+      let dst = fill va and src = fill vb in
+      let before_dst = Obs.Hist.snapshot dst
+      and before_src = Obs.Hist.snapshot src in
+      Obs.Hist.merge_into dst src;
+      Obs.Hist.snapshot dst = Obs.Hist.merge before_dst before_src
+      && Obs.Hist.snapshot src = before_src)
+
+(* ------------------------------------------------------------------ *)
+(* Reuse: exact LRU stack distances *)
+
+(* Naive reference: an MRU-first list of distinct keys; the stack
+   distance of a re-reference is its 0-based position. *)
+let naive_note stack key =
+  let rec strip i acc = function
+    | [] -> (None, List.rev acc)
+    | k :: rest when k = key -> (Some i, List.rev_append acc rest)
+    | k :: rest -> strip (i + 1) (k :: acc) rest
+  in
+  let d, rest = strip 0 [] !stack in
+  stack := key :: rest;
+  d
+
+let prop_reuse_oracle =
+  let open QCheck in
+  QCheck.Test.make ~count:200
+    ~name:"reuse: tracker matches naive LRU stack oracle"
+    (list_of_size Gen.(int_range 0 300) (int_range 0 24))
+    (fun keys ->
+      let t = Obs.Reuse.create () in
+      let stack = ref [] in
+      List.for_all
+        (fun k ->
+          let got = Obs.Reuse.note t k in
+          match naive_note stack k with
+          | None -> got = Obs.Reuse.Cold
+          | Some d -> got = Obs.Reuse.Dist d)
+        keys
+      && Obs.Reuse.distinct t = List.length !stack
+      && Obs.Reuse.tracked t = List.length !stack)
+
+let test_reuse_compaction () =
+  (* Cross the Fenwick compaction threshold (1024 stamps) several times
+     and check the tracker still agrees with the naive oracle on every
+     reference. *)
+  let t = Obs.Reuse.create () in
+  let stack = ref [] in
+  let g = ref 12345 in
+  for i = 0 to 4999 do
+    g := ((!g * 1103515245) + 12345) land 0x3FFFFFFF;
+    let k = if i < 700 then i else !g mod 700 in
+    let got = Obs.Reuse.note t k in
+    let want =
+      match naive_note stack k with
+      | None -> Obs.Reuse.Cold
+      | Some d -> Obs.Reuse.Dist d
+    in
+    if got <> want then Alcotest.failf "reference %d to key %d diverges" i k
+  done;
+  check_int "distinct keys" 700 (Obs.Reuse.distinct t);
+  check_int "all keys stay live unbounded" 700 (Obs.Reuse.tracked t)
+
+let test_reuse_bounded_far () =
+  let t = Obs.Reuse.create ~bound:4 () in
+  (* Distances under the bound stay exact... *)
+  for k = 0 to 9 do
+    ignore (Obs.Reuse.note t k)
+  done;
+  check_bool "immediate re-reference" true
+    (Obs.Reuse.note t 9 = Obs.Reuse.Dist 0);
+  check_bool "distance 3" true (Obs.Reuse.note t 6 = Obs.Reuse.Dist 3);
+  (* ...and a key whose stamp was retired by a bounded compaction reads
+     back as Far rather than a fabricated distance. *)
+  for k = 10 to 9999 do
+    ignore (Obs.Reuse.note t k)
+  done;
+  check_bool "retired key is Far" true (Obs.Reuse.note t 0 = Obs.Reuse.Far);
+  check_int "seen keys still counted" 10000 (Obs.Reuse.distinct t);
+  check_bool "live set is bounded" true (Obs.Reuse.tracked t < 10000)
+
 (* ------------------------------------------------------------------ *)
 (* Tail inspector edge cases *)
 
@@ -592,6 +684,46 @@ let test_mpi_record_metrics () =
   check_bool "network counters chained" true
     (counter "net_messages_sent" = counter "mpi_sends")
 
+let test_cache_scope_deterministic () =
+  (* The cache microscope rides inside each run, so its readings — 3C
+     classification, reuse profiles, residency samples, set pressure —
+     must be byte-identical however the sweep is parallelised. *)
+  let sc = small_scenario in
+  let spec =
+    Dispatch.Experiment.Spec.default
+    |> Dispatch.Experiment.Spec.with_scenario sc
+    |> Dispatch.Experiment.Spec.with_batches [ 8 * 1024 ]
+    |> Dispatch.Experiment.Spec.with_methods
+         [ Dispatch.Methods.A; Dispatch.Methods.C3 ]
+    |> Dispatch.Experiment.Spec.with_cache_scope "-"
+  in
+  let scoped_at jobs =
+    Dispatch.Experiment.fig3 (Dispatch.Experiment.Spec.with_jobs jobs spec)
+    |> List.concat_map (fun row ->
+           List.mapi
+             (fun i (r : Dispatch.Run_result.t) ->
+               match r.Dispatch.Run_result.scope with
+               | Some s -> (Printf.sprintf "run%d" i, s)
+               | None -> Alcotest.fail "scope missing despite cache_scope")
+             row.Dispatch.Experiment.results)
+  in
+  let csv jobs = Dispatch.Scope_report.csv (scoped_at jobs) in
+  let c1 = csv 1 in
+  check_bool "scope CSV identical at --jobs 1 vs 2" true (c1 = csv 2);
+  check_bool "scope CSV identical at --jobs 1 vs 4" true (c1 = csv 4);
+  let contains sub =
+    let n = String.length sub and m = String.length c1 in
+    let rec go i = i + n <= m && (String.sub c1 i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "3C rows present" true (contains ",3c,");
+  check_bool "reuse rows present" true (contains ",reuse,");
+  check_bool "residency rows present" true (contains ",residency,");
+  check_bool "set-pressure rows present" true (contains ",setpressure,");
+  check_bool "partition region attributed" true (contains ",partition,");
+  check_bool "render is non-empty" true
+    (Dispatch.Scope_report.render (scoped_at 1) <> "")
+
 (* ------------------------------------------------------------------ *)
 (* Series: windowed timelines *)
 
@@ -720,7 +852,7 @@ let prop_series_rebin_exact =
       let* kpow = int_range 1 3 in
       let* evs =
         list_size (int_range 0 60)
-          (let* kind = int_range 0 4 in
+          (let* kind = int_range 0 5 in
            let* a = int_range 0 16384 in
            let* d = int_range 0 4096 in
            return (kind, a, d))
@@ -750,7 +882,12 @@ let prop_series_rebin_exact =
                 Obs.Series.note_busy b
                   ~lane:(if d mod 2 = 0 then "master" else "node1")
                   ~t0:at ~t1:(at +. dur)
-            | _ -> Obs.Series.note_retry b ~at ())
+            | 4 -> Obs.Series.note_retry b ~at ()
+            | _ ->
+                Obs.Series.note_gauge b
+                  ~lane:(if d mod 2 = 0 then "ga" else "gb")
+                  ~at
+                  (float_of_int d /. 4096.0))
           evs
       in
       let fine = Obs.Series.builder ~window_ns:w ~slo_ns:1024.0 () in
@@ -779,6 +916,51 @@ let test_series_json () =
   match Obs.Json.member "windows" j with
   | Some (Obs.Json.List ws) -> check_int "one object per window" 3 (List.length ws)
   | _ -> Alcotest.fail "windows list missing"
+
+let test_series_gauges () =
+  let b =
+    Obs.Series.builder ~window_ns:100.0 ~slo_ns:50.0 ~horizon_ns:400.0 ()
+  in
+  Obs.Series.note_gauge b ~lane:"resid:n0" ~at:150.0 0.25;
+  Obs.Series.note_gauge b ~lane:"resid:n0" ~at:180.0 0.75;
+  Obs.Series.note_gauge b ~lane:"resid:n0" ~at:320.0 0.5;
+  let t = Obs.Series.finish b in
+  check_int "four windows" 4 (Array.length t.Obs.Series.windows);
+  check_bool "gauge lanes" true (Obs.Series.gauge_lanes t = [ "resid:n0" ]);
+  let g i =
+    List.assoc "resid:n0" t.Obs.Series.windows.(i).Obs.Series.gauges
+  in
+  check_float "zero before first sample" 0.0 (g 0);
+  check_float "last sample in window wins" 0.75 (g 1);
+  check_float "carried forward" 0.75 (g 2);
+  check_float "updated by a later sample" 0.5 (g 3);
+  (* Rebin keeps the last sub-window: a boundary gauge, like
+     queue_depth. *)
+  let c = Obs.Series.rebin t ~factor:2 in
+  let cg i =
+    List.assoc "resid:n0" c.Obs.Series.windows.(i).Obs.Series.gauges
+  in
+  check_float "coarse w0 = fine w1" 0.75 (cg 0);
+  check_float "coarse w1 = fine w3" 0.5 (cg 1);
+  (* JSON carries gauge fields only when lanes exist, so gauge-free
+     exports stay byte-compatible with the pre-gauge format. *)
+  let gauges_in_first_window j =
+    match Obs.Json.member "windows" j with
+    | Some (Obs.Json.List (w :: _)) -> Obs.Json.member "gauges" w
+    | _ -> Alcotest.fail "windows missing"
+  in
+  check_bool "gauges exported" true
+    (gauges_in_first_window (Obs.Series.to_json t) <> None);
+  check_bool "gauge_lanes exported" true
+    (Obs.Json.member "gauge_lanes" (Obs.Series.to_json t) <> None);
+  let plain =
+    let b = Obs.Series.builder ~window_ns:100.0 ~slo_ns:50.0 () in
+    Obs.Series.note_arrival b ~at:10.0;
+    Obs.Series.finish b
+  in
+  check_bool "omitted when no gauges" true
+    (gauges_in_first_window (Obs.Series.to_json plain) = None
+    && Obs.Json.member "gauge_lanes" (Obs.Series.to_json plain) = None)
 
 let test_render () =
   let reg = Obs.Metrics.create () in
@@ -809,6 +991,15 @@ let () =
             test_hist_quantiles;
           Alcotest.test_case "empty histogram quantiles" `Quick
             test_hist_empty_quantiles;
+          QCheck_alcotest.to_alcotest prop_hist_merge_into;
+        ] );
+      ( "reuse",
+        [
+          QCheck_alcotest.to_alcotest prop_reuse_oracle;
+          Alcotest.test_case "survives compaction" `Quick
+            test_reuse_compaction;
+          Alcotest.test_case "bounded mode reports Far" `Quick
+            test_reuse_bounded_far;
         ] );
       ( "tail",
         [
@@ -825,6 +1016,7 @@ let () =
           Alcotest.test_case "rebin unit algebra" `Quick test_series_rebin_unit;
           QCheck_alcotest.to_alcotest prop_series_rebin_exact;
           Alcotest.test_case "json export" `Quick test_series_json;
+          Alcotest.test_case "gauge lanes" `Quick test_series_gauges;
         ] );
       ( "metrics",
         [
@@ -862,6 +1054,8 @@ let () =
           Alcotest.test_case "snapshot contents" `Quick
             test_run_metrics_contents;
           Alcotest.test_case "traced run" `Quick test_traced_run;
+          Alcotest.test_case "cache scope deterministic" `Quick
+            test_cache_scope_deterministic;
           Alcotest.test_case "mpi counters" `Quick test_mpi_record_metrics;
         ] );
     ]
