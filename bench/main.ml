@@ -150,10 +150,21 @@ let micro_tests ~jobs =
          (Exec.Sweep.map ~jobs ~f:(fun i -> i * i)
             (List.init 64 (fun i -> i))))
   in
+  let test_pool_chunked =
+    (* Same fan-out with interleaved chunks of 8: one pool task per
+       chunk instead of per cell — the dispatch-overhead regime chunking
+       exists for. *)
+    Test.make ~name:(Printf.sprintf "exec/pool-64-jobs-chunk8-%dw" jobs)
+      (Staged.stage @@ fun () ->
+       ignore
+         (Exec.Sweep.map ~jobs ~chunk:8 ~f:(fun i -> i * i)
+            (List.init 64 (fun i -> i))))
+  in
   Test.make_grouped ~name:"micro"
     [ test_sorted_array; test_nary; test_csb; test_buffered;
       test_eytzinger; test_cache_access; test_cache_access_scoped;
-      test_engine; test_mpi_collectives; test_pool_overhead ]
+      test_engine; test_mpi_collectives; test_pool_overhead;
+      test_pool_chunked ]
 
 (* ------------------------------------------------------------------ *)
 (* One test per paper artefact *)
@@ -401,26 +412,113 @@ let check_baseline_arg =
     & opt (some string) None
     & info [ "check-baseline" ] ~docv:"FILE" ~doc)
 
+let throughput_arg =
+  let doc =
+    "Measure host wall-clock simulator throughput (simulated queries/sec \
+     and engine events/sec, fig3 grid + ci-serve saturation scenario), \
+     append a labelled sample to the trajectory artifact $(docv) \
+     (created when missing) and print the trajectory with per-cell \
+     speedups.  Skips the benchmarks."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "throughput" ] ~docv:"FILE" ~doc)
+
+let throughput_label_arg =
+  let doc = "Label for the sample appended by --throughput." in
+  Arg.(
+    value
+    & opt string "measured"
+    & info [ "throughput-label" ] ~docv:"LABEL" ~doc)
+
+let throughput_smoke_arg =
+  let doc =
+    "Validate the committed throughput trajectory $(docv) (JSON schema), \
+     run one reduced measurement per cell family and compare against the \
+     trajectory's last sample.  The comparison is advisory: warnings \
+     only, never a failing exit — wall-clock numbers flake on noisy \
+     hosts.  Run via `dune build @bench-throughput` in CI."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "throughput-smoke" ] ~docv:"FILE" ~doc)
+
+let run_throughput ~path ~label =
+  let sample = Dispatch.Throughput.measure ~label () in
+  ignore (Dispatch.Throughput.append ~path sample);
+  (* Also append a reduced-scale companion under the smoke key
+     namespace: it is what `--throughput-smoke` (the @bench-throughput
+     alias) compares freshly measured smoke cells against, so promoting
+     a trajectory entry re-baselines the CI advisory in the same
+     commit. *)
+  let smoke =
+    Dispatch.Throughput.measure ~smoke:true ~label:(label ^ "-smoke") ()
+  in
+  let trajectory = Dispatch.Throughput.append ~path smoke in
+  print_string (Dispatch.Throughput.render_trajectory trajectory);
+  Printf.printf "wrote %s\n" path;
+  0
+
+let run_throughput_smoke ~path =
+  match Dispatch.Throughput.load path with
+  | Error e ->
+      Printf.eprintf "bench: invalid throughput trajectory: %s\n" e;
+      1
+  | Ok trajectory ->
+      Printf.printf "%s: schema OK, %d sample%s\n" path
+        (List.length trajectory)
+        (if List.length trajectory = 1 then "" else "s");
+      let current = Dispatch.Throughput.measure ~smoke:true ~label:"smoke" () in
+      print_string (Dispatch.Throughput.render_sample current);
+      (* Compare against the most recent sample that has comparable
+         (same-key) cells — normally the committed smoke sample. *)
+      let comparable (s : Dispatch.Throughput.sample) =
+        List.exists
+          (fun (c : Dispatch.Throughput.cell) ->
+            List.exists
+              (fun (sc : Dispatch.Throughput.cell) -> sc.key = c.key)
+              s.cells)
+          current.cells
+      in
+      (match List.find_opt comparable (List.rev trajectory) with
+      | None ->
+          Printf.printf
+            "advisory: no sample with comparable cells in trajectory\n"
+      | Some reference ->
+          let warnings = Dispatch.Throughput.advisory ~reference ~current in
+          if warnings = [] then
+            Printf.printf "advisory: OK vs %S (threshold %.0f%%)\n"
+              reference.Dispatch.Throughput.label
+              (100.0 *. Dispatch.Throughput.advisory_threshold)
+          else List.iter print_endline warnings);
+      0
+
 let main jobs faults metrics_path trace_path timeline timeline_window save
-    check =
-  match (save, check) with
-  | Some _, Some _ ->
+    check throughput throughput_label throughput_smoke =
+  match (save, check, throughput, throughput_smoke) with
+  | Some _, Some _, _, _ ->
       prerr_endline
         "bench: --save-baseline and --check-baseline are mutually exclusive";
       2
-  | Some path, None ->
+  | _, _, Some _, Some _ ->
+      prerr_endline
+        "bench: --throughput and --throughput-smoke are mutually exclusive";
+      2
+  | _, _, Some path, None -> run_throughput ~path ~label:throughput_label
+  | _, _, None, Some path -> run_throughput_smoke ~path
+  | Some path, None, None, None ->
       (* The baseline covers the zero-fault path only (see BENCH_003.json
          note in EXPERIMENTS.md); --faults does not alter the gate. *)
       let spec = Dispatch.Baseline.default_spec ~jobs in
       Dispatch.Baseline.save ~path ~spec (Dispatch.Baseline.capture ~spec);
       Printf.printf "wrote %s\n" path;
       0
-  | None, Some path ->
+  | None, Some path, None, None ->
       let spec = Dispatch.Baseline.default_spec ~jobs in
       let drifts = Dispatch.Baseline.check ~path ~spec in
       print_endline (Dispatch.Baseline.render_drift drifts);
       if drifts = [] then 0 else 1
-  | None, None ->
+  | None, None, None, None ->
       run_benchmarks ~jobs ~faults ~metrics_path ~trace_path ~timeline
         ~timeline_window;
       0
@@ -437,6 +535,7 @@ let () =
     Term.(
       const main $ Cli.jobs_arg $ Cli.faults_arg $ Cli.metrics_arg
       $ Cli.trace_json_arg $ Cli.timeline_arg $ Cli.timeline_window_arg
-      $ save_baseline_arg $ check_baseline_arg)
+      $ save_baseline_arg $ check_baseline_arg $ throughput_arg
+      $ throughput_label_arg $ throughput_smoke_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

@@ -1,7 +1,14 @@
 (* Tags store the full line number (not the set-relative tag); a slot is
    empty when its tag is -1.  LRU is a per-slot monotone stamp: the victim
    is the way with the smallest stamp.  Both probe and victim search scan
-   the [ways] slots of one set, which is a handful of array reads. *)
+   the [ways] slots of one set, which is a handful of array reads.
+
+   Tag and stamp live interleaved in one [meta] array — slot [i]'s tag at
+   [2 * i], its stamp at [2 * i + 1] — so the stamp write that follows
+   every tag match lands on the host cache line the scan just pulled in.
+   With several simulated machines interleaving through one host core the
+   slot arrays are usually cold, and touching one line per probe instead
+   of two is a measurable share of simulation speed. *)
 
 type t = {
   cache_name : string;
@@ -11,15 +18,33 @@ type t = {
   n_sets : int;
   set_mask : int;
   n_ways : int;
-  tags : int array; (* n_sets * n_ways *)
-  stamps : int array;
-  dirty : bool array;
+  meta : int array; (* 2 * n_sets * n_ways: tag at 2i, stamp at 2i+1 *)
+  dirty : Bytes.t; (* one byte per slot, '\000' = clean — a bool array
+                      would spend a full word per flag, and the host
+                      cache footprint of the slot arrays is what bounds
+                      simulation speed *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
   mutable writebacks : int;
   mutable last_victim : int; (* line evicted by the last fill; -1 = none *)
+  (* Probe result: set location of the line most recently probed, reused
+     by [fill_probed] so a miss does not recompute line/base.  Both are
+     immediate ints, so caching them allocates nothing. *)
+  mutable probe_line : int;
+  mutable probe_base : int;
+  (* Way-hint table: [hint.(line land hint_mask)] caches [slot + 1] of a
+     line known to be resident ([0] = no hint).  A hint is only a guess:
+     the probe verifies the slot's tag before trusting it and falls back
+     to the full way scan on mismatch, so a stale hint can never change
+     an outcome — a line occupies at most one way (fills happen only
+     after a missing probe), so finding it via the hint or via the scan
+     yields the same slot.  This turns the hit path of a highly
+     associative cache (the 64-way fully-associative TLB) from an
+     O(ways) scan into O(1). *)
+  hint : int array;
+  hint_mask : int;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -37,6 +62,19 @@ let create ?(name = "cache") ~size_bytes ~line_bytes ~ways () =
   let n_sets = size_bytes / (line_bytes * ways) in
   if not (is_pow2 n_sets) then
     invalid_arg "Cache.create: set count must be a power of two";
+  (* A real hint table only pays for highly associative caches (the
+     64-way fully-associative TLB), where it replaces an O(ways) scan.
+     For 4/8-way sets the scan is a handful of reads while a
+     proportional table would add hundreds of kilobytes of host
+     footprint per cache; they get a single shared slot instead — same
+     outcomes (the tag check rejects whatever is cached there), just a
+     lower hit rate on a structure they barely need. *)
+  let hint_size =
+    if ways < 16 then 1
+    else
+      let rec up s = if s >= 2 * n_sets * ways then s else up (2 * s) in
+      up 1
+  in
   {
     cache_name = name;
     size = size_bytes;
@@ -45,15 +83,19 @@ let create ?(name = "cache") ~size_bytes ~line_bytes ~ways () =
     n_sets;
     set_mask = n_sets - 1;
     n_ways = ways;
-    tags = Array.make (n_sets * ways) (-1);
-    stamps = Array.make (n_sets * ways) 0;
-    dirty = Array.make (n_sets * ways) false;
+    meta =
+      Array.init (2 * n_sets * ways) (fun j -> if j land 1 = 0 then -1 else 0);
+    dirty = Bytes.make (n_sets * ways) '\000';
     tick = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
     writebacks = 0;
     last_victim = -1;
+    probe_line = -1;
+    probe_base = 0;
+    hint = Array.make hint_size 0;
+    hint_mask = hint_size - 1;
   }
 
 let name t = t.cache_name
@@ -64,52 +106,83 @@ let sets t = t.n_sets
 let lines t = t.size / t.line
 let line_of_addr t addr = addr lsr t.line_shift
 
-let find_way t base line =
-  let rec go w =
-    if w = t.n_ways then -1
-    else if t.tags.(base + w) = line then w
-    else go (w + 1)
-  in
-  go 0
+(* Index-validity invariant for the unsafe scans below: every slot index
+   is [base + w] with [base = (line land set_mask) * n_ways
+   <= (n_sets - 1) * n_ways] and [w < n_ways], so
+   [2 * (base + w) + 1 < 2 * n_sets * n_ways], the length of [meta],
+   and [base + w < n_sets * n_ways], the length of [dirty]. *)
 
-let access t ~addr ~write =
+(* Top-level recursion with explicit arguments: a local [let rec]
+   capturing [t]/[base]/[line] would allocate a closure on every call
+   without flambda. *)
+let rec find_way_from meta n_ways base line w =
+  if w = n_ways then -1
+  else if Array.unsafe_get meta (2 * (base + w)) = line then w
+  else find_way_from meta n_ways base line (w + 1)
+
+let find_way t base line = find_way_from t.meta t.n_ways base line 0
+
+let probe t ~addr ~write =
   let line = addr lsr t.line_shift in
   let base = (line land t.set_mask) * t.n_ways in
-  let w = find_way t base line in
-  if w >= 0 then begin
+  t.probe_line <- line;
+  t.probe_base <- base;
+  let h = line land t.hint_mask in
+  let s = Array.unsafe_get t.hint h in
+  (* [s - 1] was once a valid slot of [line]'s set, so it is in bounds;
+     the tag check rejects hints gone stale through eviction. *)
+  if s > 0 && Array.unsafe_get t.meta (2 * (s - 1)) = line then begin
     t.hits <- t.hits + 1;
     t.tick <- t.tick + 1;
-    t.stamps.(base + w) <- t.tick;
-    if write then t.dirty.(base + w) <- true;
+    Array.unsafe_set t.meta ((2 * (s - 1)) + 1) t.tick;
+    if write then Bytes.unsafe_set t.dirty (s - 1) '\001';
     true
   end
   else begin
-    t.misses <- t.misses + 1;
-    false
+    let w = find_way t base line in
+    if w >= 0 then begin
+      Array.unsafe_set t.hint h (base + w + 1);
+      t.hits <- t.hits + 1;
+      t.tick <- t.tick + 1;
+      Array.unsafe_set t.meta ((2 * (base + w)) + 1) t.tick;
+      if write then Bytes.unsafe_set t.dirty (base + w) '\001';
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      false
+    end
   end
 
-let fill t ~addr ~write =
-  let line = addr lsr t.line_shift in
-  let base = (line land t.set_mask) * t.n_ways in
-  (* Prefer an empty way; otherwise evict the LRU way. *)
-  let victim = ref (-1) in
-  let lru_way = ref 0 in
-  let lru_stamp = ref max_int in
-  for w = 0 to t.n_ways - 1 do
-    let i = base + w in
-    if t.tags.(i) = -1 && !victim = -1 then victim := w;
-    if t.stamps.(i) < !lru_stamp then begin
-      lru_stamp := t.stamps.(i);
-      lru_way := w
-    end
-  done;
-  let w = if !victim >= 0 then !victim else !lru_way in
+let access = probe
+let probed_line t = t.probe_line
+
+(* Prefer the first empty way; otherwise evict the way with the
+   smallest stamp (first minimum wins ties) — same selection as the
+   historical two-ref loop, folded into one accumulator scan. *)
+let rec pick_way meta n_ways base w empty lru_way lru_stamp =
+  if w = n_ways then if empty >= 0 then empty else lru_way
+  else begin
+    let i = 2 * (base + w) in
+    let empty =
+      if empty = -1 && Array.unsafe_get meta i = -1 then w else empty
+    in
+    let s = Array.unsafe_get meta (i + 1) in
+    if s < lru_stamp then pick_way meta n_ways base (w + 1) empty w s
+    else pick_way meta n_ways base (w + 1) empty lru_way lru_stamp
+  end
+
+let fill_probed t ~write =
+  let line = t.probe_line in
+  let base = t.probe_base in
+  let w = pick_way t.meta t.n_ways base 0 (-1) 0 max_int in
   let i = base + w in
-  t.last_victim <- t.tags.(i);
+  let prev = Array.unsafe_get t.meta (2 * i) in
+  t.last_victim <- prev;
   let wrote_back =
-    if t.tags.(i) <> -1 then begin
+    if prev <> -1 then begin
       t.evictions <- t.evictions + 1;
-      if t.dirty.(i) then begin
+      if Bytes.unsafe_get t.dirty i <> '\000' then begin
         t.writebacks <- t.writebacks + 1;
         true
       end
@@ -118,10 +191,17 @@ let fill t ~addr ~write =
     else false
   in
   t.tick <- t.tick + 1;
-  t.tags.(i) <- line;
-  t.stamps.(i) <- t.tick;
-  t.dirty.(i) <- write;
+  Array.unsafe_set t.meta (2 * i) line;
+  Array.unsafe_set t.meta ((2 * i) + 1) t.tick;
+  Bytes.unsafe_set t.dirty i (if write then '\001' else '\000');
+  Array.unsafe_set t.hint (line land t.hint_mask) (i + 1);
   wrote_back
+
+let fill t ~addr ~write =
+  let line = addr lsr t.line_shift in
+  t.probe_line <- line;
+  t.probe_base <- (line land t.set_mask) * t.n_ways;
+  fill_probed t ~write
 
 let last_victim t = t.last_victim
 
@@ -135,15 +215,20 @@ let invalidate t ~addr =
   let base = (line land t.set_mask) * t.n_ways in
   let w = find_way t base line in
   if w >= 0 then begin
-    t.tags.(base + w) <- -1;
-    t.dirty.(base + w) <- false;
-    t.stamps.(base + w) <- 0
+    t.meta.(2 * (base + w)) <- -1;
+    t.meta.((2 * (base + w)) + 1) <- 0;
+    Bytes.set t.dirty (base + w) '\000'
   end
 
 let flush t =
-  Array.fill t.tags 0 (Array.length t.tags) (-1);
-  Array.fill t.dirty 0 (Array.length t.dirty) false;
-  Array.fill t.stamps 0 (Array.length t.stamps) 0
+  for i = 0 to (Array.length t.meta / 2) - 1 do
+    t.meta.(2 * i) <- -1;
+    t.meta.((2 * i) + 1) <- 0
+  done;
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  (* Stale hints would merely fail their tag check, but flush is cold so
+     drop them wholesale. *)
+  Array.fill t.hint 0 (Array.length t.hint) 0
 
 type stats = { hits : int; misses : int; evictions : int; writebacks : int }
 

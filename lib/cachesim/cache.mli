@@ -29,14 +29,32 @@ val lines : t -> int
 val line_of_addr : t -> int -> int
 (** Line number containing a byte address. *)
 
-val access : t -> addr:int -> write:bool -> bool
-(** [access t ~addr ~write] probes the set for [addr]: on a hit, refreshes
+val probe : t -> addr:int -> write:bool -> bool
+(** [probe t ~addr ~write] probes the set for [addr]: on a hit, refreshes
     LRU state (and the dirty bit if [write]) and returns [true]; on a miss
-    returns [false] {e without} allocating — pair with {!fill}. *)
+    returns [false] {e without} allocating.  Either way the probed line's
+    set location is cached in [t], so a following {!fill_probed} does not
+    recompute it. *)
+
+val fill_probed : t -> write:bool -> bool
+(** Allocate the line located by the most recent {!probe} (or {!fill}),
+    evicting the set's LRU line if needed.  Returns [true] when the
+    eviction wrote back a dirty line.  Only meaningful directly after a
+    missing probe of the same cache — the fused miss path of
+    {!Hierarchy.access}. *)
+
+val probed_line : t -> int
+(** Line number cached by the most recent {!probe} / {!fill} ([-1]
+    before the first). *)
+
+val access : t -> addr:int -> write:bool -> bool
+(** Alias for {!probe} — the historical probe entry point. *)
 
 val fill : t -> addr:int -> write:bool -> bool
 (** Allocate the line containing [addr], evicting the set's LRU line if
-    needed.  Returns [true] when the eviction wrote back a dirty line. *)
+    needed.  Returns [true] when the eviction wrote back a dirty line.
+    Thin wrapper over {!fill_probed} that computes the set location
+    itself. *)
 
 val last_victim : t -> int
 (** Line number evicted by the most recent {!fill}, or [-1] if it used

@@ -11,7 +11,22 @@ type t = {
   mutable rand_misses : int;
   mutable tlb_misses : int;
   mutable writebacks : int;
-  mutable cost_ns : float;
+  acc : float array; (* [|cost_ns|] — float-array store keeps the hot
+                        accumulation unboxed (a mutable float field in
+                        this mixed record would box every addend) *)
+  costs : float array;
+      (* [|l1_hit; l2_hit; ram_random; tlb_miss; ram_line|] — the
+         [Mem_params] addends, copied into one flat array at creation:
+         float fields of that mixed record are boxed pointers, so
+         reading them per access touches five scattered heap words
+         where this array is one hot line. *)
+  scratch : float array; (* per-access cost accumulator of [access_fast] *)
+  sink : float array; (* discarded charge target for the compat {!access} *)
+  prof : Obs.Profile.t option;
+      (* Ambient profiler frozen at creation: recorders are installed
+         around a whole run, including machine construction, so one
+         [None] here proves no access of this hierarchy is profiled and
+         the fast path can skip the per-access ambient lookup. *)
   mutable phase : string;
   mutable scope : Obs.Cachescope.node option;
 }
@@ -46,7 +61,18 @@ let create (p : Mem_params.t) =
     rand_misses = 0;
     tlb_misses = 0;
     writebacks = 0;
-    cost_ns = 0.0;
+    acc = [| 0.0 |];
+    costs =
+      [|
+        p.l1_hit_ns;
+        p.b1_penalty_ns;
+        p.b2_penalty_ns;
+        p.tlb_penalty_ns;
+        float_of_int p.l2_line /. p.mem_seq_bw;
+      |];
+    scratch = [| 0.0 |];
+    sink = [| 0.0; 0.0 |];
+    prof = Obs.Profile.current ();
     phase = "mem";
     scope = None;
   }
@@ -84,22 +110,27 @@ let attach_scope t scope ~node_name =
 
 let scope t = t.scope
 
-let scoped_fill t ~level (c : Cache.t) ~addr ~write =
-  let wrote_back = Cache.fill c ~addr ~write in
+let scoped_fill t ~level (c : Cache.t) ~write =
+  (* [c]'s probe location was cached by the missing probe that led
+     here, so the fill does not recompute line/base. *)
+  let wrote_back = Cache.fill_probed c ~write in
   (match t.scope with
   | Some node ->
-      Obs.Cachescope.note_fill node ~level ~line:(Cache.line_of_addr c addr)
+      Obs.Cachescope.note_fill node ~level ~line:(Cache.probed_line c)
         ~victim:(Cache.last_victim c)
   | None -> ());
   wrote_back
 
-let access t ~addr ~write =
+(* Instrumented access path: identical classification to [access_fast]
+   below, plus the profiler attribution and cache-scope hooks.  Taken
+   whenever a profiler was ambient at creation or a scope is attached. *)
+let access_slow t ~addr ~write =
   t.accesses <- t.accesses + 1;
   (* Every cost addend below is also attributed to the ambient profiler
      (if one is installed) under (current phase, component), so the
      profile's memory components sum to exactly what this access
      returns. *)
-  let prof = Obs.Profile.current () in
+  let prof = t.prof in
   let attr component c =
     match prof with
     | Some p -> Obs.Profile.charge p ~path:[ t.phase; component ] c
@@ -108,14 +139,14 @@ let access t ~addr ~write =
   let cost = ref 0.0 in
   (match t.tlb with
   | Some tlb ->
-      if not (Cache.access tlb ~addr ~write:false) then begin
-        ignore (Cache.fill tlb ~addr ~write:false);
+      if not (Cache.probe tlb ~addr ~write:false) then begin
+        ignore (Cache.fill_probed tlb ~write:false);
         t.tlb_misses <- t.tlb_misses + 1;
         cost := !cost +. t.p.tlb_penalty_ns;
         attr "tlb_miss" t.p.tlb_penalty_ns
       end
   | None -> ());
-  let l1_hit = Cache.access t.l1c ~addr ~write in
+  let l1_hit = Cache.probe t.l1c ~addr ~write in
   (* The scope sees the demand stream each level really serves: every
      access for L1, only L1 misses for L2. *)
   (match t.scope with
@@ -129,7 +160,7 @@ let access t ~addr ~write =
     attr "l1_hit" t.p.l1_hit_ns
   end
   else begin
-    let l2_hit = Cache.access t.l2c ~addr ~write in
+    let l2_hit = Cache.probe t.l2c ~addr ~write in
     (match t.scope with
     | Some node ->
         Obs.Cachescope.note_access node ~level:1 ~phase:t.phase ~addr
@@ -139,10 +170,10 @@ let access t ~addr ~write =
       t.l2_hits <- t.l2_hits + 1;
       cost := !cost +. t.p.b1_penalty_ns;
       attr "l2_hit" t.p.b1_penalty_ns;
-      ignore (scoped_fill t ~level:0 t.l1c ~addr ~write)
+      ignore (scoped_fill t ~level:0 t.l1c ~write)
     end
     else begin
-      let line = Cache.line_of_addr t.l2c addr in
+      let line = Cache.probed_line t.l2c in
       let line_cost = float_of_int t.p.l2_line /. t.p.mem_seq_bw in
       if Prefetcher.note_miss t.pf ~line then begin
         t.seq_misses <- t.seq_misses + 1;
@@ -154,16 +185,84 @@ let access t ~addr ~write =
         cost := !cost +. t.p.b2_penalty_ns;
         attr "ram_random" t.p.b2_penalty_ns
       end;
-      if scoped_fill t ~level:1 t.l2c ~addr ~write then begin
+      if scoped_fill t ~level:1 t.l2c ~write then begin
         t.writebacks <- t.writebacks + 1;
         cost := !cost +. line_cost;
         attr "ram_writeback" line_cost
       end;
-      ignore (scoped_fill t ~level:0 t.l1c ~addr ~write)
+      ignore (scoped_fill t ~level:0 t.l1c ~write)
     end
   end;
-  t.cost_ns <- t.cost_ns +. !cost;
+  Array.unsafe_set t.acc 0 (Array.unsafe_get t.acc 0 +. !cost);
   !cost
+
+(* Demand path with no profiler and no scope: same classification,
+   counter updates and cost arithmetic (same addends, same order) as
+   [access_slow], but no closure, no [ref], no ambient lookup — the
+   cost accumulates in the [scratch] float-array slot (replicating the
+   slow path's [cost := !cost +. x] sequence add for add) and lands in
+   [t.acc] and the caller's [charge] pair.  Keeping every intermediate
+   in float arrays rather than let-bound branch joins guarantees no
+   boxing on this path. *)
+let access_fast t ~addr ~write ~charge =
+  t.accesses <- t.accesses + 1;
+  let s = t.scratch in
+  let costs = t.costs in
+  Array.unsafe_set s 0 0.0;
+  (match t.tlb with
+  | None -> ()
+  | Some tlb ->
+      if not (Cache.probe tlb ~addr ~write:false) then begin
+        ignore (Cache.fill_probed tlb ~write:false);
+        t.tlb_misses <- t.tlb_misses + 1;
+        Array.unsafe_set s 0 (Array.unsafe_get s 0 +. Array.unsafe_get costs 3)
+      end);
+  if Cache.probe t.l1c ~addr ~write then begin
+    t.l1_hits <- t.l1_hits + 1;
+    Array.unsafe_set s 0 (Array.unsafe_get s 0 +. Array.unsafe_get costs 0)
+  end
+  else if Cache.probe t.l2c ~addr ~write then begin
+    t.l2_hits <- t.l2_hits + 1;
+    Array.unsafe_set s 0 (Array.unsafe_get s 0 +. Array.unsafe_get costs 1);
+    ignore (Cache.fill_probed t.l1c ~write)
+  end
+  else begin
+    let line = Cache.probed_line t.l2c in
+    if Prefetcher.note_miss t.pf ~line then begin
+      t.seq_misses <- t.seq_misses + 1;
+      Array.unsafe_set s 0 (Array.unsafe_get s 0 +. Array.unsafe_get costs 4)
+    end
+    else begin
+      t.rand_misses <- t.rand_misses + 1;
+      Array.unsafe_set s 0 (Array.unsafe_get s 0 +. Array.unsafe_get costs 2)
+    end;
+    if Cache.fill_probed t.l2c ~write then begin
+      t.writebacks <- t.writebacks + 1;
+      Array.unsafe_set s 0 (Array.unsafe_get s 0 +. Array.unsafe_get costs 4)
+    end;
+    ignore (Cache.fill_probed t.l1c ~write)
+  end;
+  Array.unsafe_set t.acc 0 (Array.unsafe_get t.acc 0 +. Array.unsafe_get s 0);
+  Array.unsafe_set charge 0
+    (Array.unsafe_get charge 0 +. Array.unsafe_get s 0);
+  Array.unsafe_set charge 1
+    (Array.unsafe_get charge 1 +. Array.unsafe_get s 0)
+
+let access_into t ~addr ~write ~charge =
+  match (t.prof, t.scope) with
+  | None, None -> access_fast t ~addr ~write ~charge
+  | _ ->
+      let c = access_slow t ~addr ~write in
+      Array.unsafe_set charge 0 (Array.unsafe_get charge 0 +. c);
+      Array.unsafe_set charge 1 (Array.unsafe_get charge 1 +. c)
+
+let access t ~addr ~write =
+  match (t.prof, t.scope) with
+  | None, None ->
+      access_fast t ~addr ~write ~charge:t.sink;
+      (* [scratch.(0)] still holds this access's exact cost. *)
+      Array.unsafe_get t.scratch 0
+  | _ -> access_slow t ~addr ~write
 
 let flush t =
   Cache.flush t.l1c;
@@ -213,7 +312,7 @@ let stats (t : t) =
     rand_misses = t.rand_misses;
     tlb_misses = t.tlb_misses;
     writebacks = t.writebacks;
-    cost_ns = t.cost_ns;
+    cost_ns = t.acc.(0);
   }
 
 let reset_stats (t : t) =
@@ -224,7 +323,7 @@ let reset_stats (t : t) =
   t.rand_misses <- 0;
   t.tlb_misses <- 0;
   t.writebacks <- 0;
-  t.cost_ns <- 0.0
+  t.acc.(0) <- 0.0
 
 let zero_stats =
   {
@@ -297,7 +396,7 @@ let record_metrics (t : t) ?(labels = []) reg =
   Obs.Metrics.incr reg ~labels "mem_rand_misses" t.rand_misses;
   Obs.Metrics.incr reg ~labels "mem_tlb_misses" t.tlb_misses;
   Obs.Metrics.incr reg ~labels "mem_writebacks" t.writebacks;
-  Obs.Metrics.incr_f reg ~labels "mem_cost_ns" t.cost_ns;
+  Obs.Metrics.incr_f reg ~labels "mem_cost_ns" t.acc.(0);
   Obs.Metrics.incr reg ~labels "prefetch_fills" (Prefetcher.fills t.pf);
   Obs.Metrics.incr reg ~labels "prefetch_useful" (Prefetcher.useful t.pf);
   Obs.Metrics.incr reg ~labels "prefetch_useless" (Prefetcher.useless t.pf);

@@ -24,10 +24,22 @@ val params : t -> Mem_params.t
 
 val access : t -> addr:int -> write:bool -> float
 (** Cost in ns of referencing the word at byte address [addr].  When an
-    {!Obs.Profile} is ambiently recording, each cost addend is also
-    charged to it under [(phase, component)] — components [tlb_miss],
-    [l1_hit], [l2_hit], [ram_sequential], [ram_random],
-    [ram_writeback]. *)
+    {!Obs.Profile} was ambiently recording at {!create} time, each cost
+    addend is also charged to it under [(phase, component)] — components
+    [tlb_miss], [l1_hit], [l2_hit], [ram_sequential], [ram_random],
+    [ram_writeback].  (Recorders are installed around a whole run,
+    including hierarchy construction, so creation-time capture and
+    per-access lookup see the same recorder.) *)
+
+val access_into : t -> addr:int -> write:bool -> charge:float array -> unit
+(** Fused access + charge: classify the reference exactly like {!access}
+    and add its cost into [charge.(0)] and [charge.(1)] (a machine's
+    pending/busy accumulator pair).  With no profiler and no scope
+    attached this path performs no boxing and no allocation: probe and
+    fill share one set-location computation per level, the way scans are
+    unchecked ({!Cache} index-validity invariant), and all cost
+    arithmetic happens through float-array loads and stores.  [charge]
+    must have at least two slots. *)
 
 val set_phase : t -> string -> unit
 (** Set the attribution phase (first profile path component) for

@@ -1,8 +1,10 @@
 type t = {
   stride : int;
-  mutable sum : float;
+  acc : float array; (* [|sum; max_v|] — float-array slots keep the
+                        per-add accumulation unboxed where mutable
+                        float fields in this mixed record would box
+                        every store *)
   mutable n : int;
-  mutable max_v : float;
   mutable samples : float array;
   mutable n_samples : int;
   mutable tick : int;
@@ -13,9 +15,8 @@ let create ?(sample_stride = 16) () =
   if sample_stride < 1 then invalid_arg "Latency.create: bad stride";
   {
     stride = sample_stride;
-    sum = 0.0;
+    acc = [| 0.0; 0.0 |];
     n = 0;
-    max_v = 0.0;
     samples = Array.make 256 0.0;
     n_samples = 0;
     tick = 0;
@@ -33,9 +34,9 @@ let push_sample t v =
 
 let add t v =
   Obs.Hist.observe t.hist v;
-  t.sum <- t.sum +. v;
+  Array.unsafe_set t.acc 0 (Array.unsafe_get t.acc 0 +. v);
   t.n <- t.n + 1;
-  if v > t.max_v then t.max_v <- v;
+  if v > Array.unsafe_get t.acc 1 then Array.unsafe_set t.acc 1 v;
   t.tick <- t.tick + 1;
   if t.tick >= t.stride then begin
     t.tick <- 0;
@@ -45,9 +46,9 @@ let add t v =
 let add_many t v k =
   if k > 0 then begin
     Obs.Hist.observe_n t.hist v k;
-    t.sum <- t.sum +. (v *. float_of_int k);
+    Array.unsafe_set t.acc 0 (Array.unsafe_get t.acc 0 +. (v *. float_of_int k));
     t.n <- t.n + k;
-    if v > t.max_v then t.max_v <- v;
+    if v > Array.unsafe_get t.acc 1 then Array.unsafe_set t.acc 1 v;
     t.tick <- t.tick + k;
     if t.tick >= t.stride then begin
       (* Keep the reservoir's density: one sample per stride crossed. *)
@@ -59,16 +60,30 @@ let add_many t v k =
     end
   end
 
+(* Fold [src] into [dst] (node-ordered merge of per-node accumulators
+   from a parallel serving run).  Reservoir samples append in call
+   order, so merging node 0, 1, ... always yields the same reservoir
+   regardless of how many domains ran the nodes. *)
+let merge_into dst src =
+  if dst == src then invalid_arg "Latency.merge_into: dst and src must differ";
+  Obs.Hist.merge_into dst.hist src.hist;
+  dst.acc.(0) <- dst.acc.(0) +. src.acc.(0);
+  if src.acc.(1) > dst.acc.(1) then dst.acc.(1) <- src.acc.(1);
+  dst.n <- dst.n + src.n;
+  for i = 0 to src.n_samples - 1 do
+    push_sample dst src.samples.(i)
+  done
+
 let count t = t.n
-let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
-let max_seen t = t.max_v
+let mean t = if t.n = 0 then 0.0 else t.acc.(0) /. float_of_int t.n
+let max_seen t = t.acc.(1)
 
 let percentile t p =
   if t.n_samples = 0 then 0.0
   else begin
     if p < 0.0 || p > 1.0 then invalid_arg "Latency.percentile: p outside [0,1]";
     let sorted = Array.sub t.samples 0 t.n_samples in
-    Array.sort compare sorted;
+    Fsort.sort sorted;
     let idx =
       int_of_float (Float.round (p *. float_of_int (t.n_samples - 1)))
     in

@@ -15,6 +15,12 @@ val add_many : t -> float -> int -> unit
 (** [add_many t v k] records [k] observations of value [v] (used when a
     whole batch shares one residence time). *)
 
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src]'s counts, sums, histogram and
+    reservoir samples into [dst].  Merging per-node accumulators in a
+    fixed node order yields one canonical result however the nodes were
+    executed — the basis of the parallel serving path's determinism. *)
+
 val count : t -> int
 val mean : t -> float
 (** [0.] when empty. *)

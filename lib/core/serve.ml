@@ -73,13 +73,20 @@ let cold_until (sc : Workload.Scenario.t) ~timeline_window_ns =
    [cold_until_ns] form the cold phase; their quantiles and the warm
    remainder's are reported separately. *)
 
+let rank_index c p =
+  min (c - 1) (max 0 (int_of_float (ceil (p *. float_of_int c)) - 1))
+
 let exact_quantiles sorted =
   let c = Array.length sorted in
-  let quantile p =
-    if c = 0 then 0.0
-    else
-      sorted.(min (c - 1) (max 0 (int_of_float (ceil (p *. float_of_int c)) - 1)))
-  in
+  let quantile p = if c = 0 then 0.0 else sorted.(rank_index c p) in
+  (quantile 0.5, quantile 0.95, quantile 0.99)
+
+(* Same nearest-rank quantiles without sorting: quickselect each index
+   in place (the array is scratch).  Identical values to
+   [exact_quantiles (Fsort.sort a; a)]. *)
+let select_quantiles a =
+  let c = Array.length a in
+  let quantile p = if c = 0 then 0.0 else Fsort.select a (rank_index c p) in
   (quantile 0.5, quantile 0.95, quantile 0.99)
 
 let rollup ~arrival ~slo_ns ~cold_until_ns ~(sc : Workload.Scenario.t)
@@ -112,14 +119,19 @@ let rollup ~arrival ~slo_ns ~cold_until_ns ~(sc : Workload.Scenario.t)
   done;
   let c = !completed in
   let sorted = Array.sub resp 0 c in
-  Array.sort compare sorted;
-  let sorted_cold = Array.sub cold 0 !n_cold in
-  Array.sort compare sorted_cold;
-  let sorted_warm = Array.sub warm 0 !n_warm in
-  Array.sort compare sorted_warm;
+  Fsort.sort sorted;
   let p50, p95, p99 = exact_quantiles sorted in
-  let cold_p50, cold_p95, cold_p99 = exact_quantiles sorted_cold in
-  let warm_p50, warm_p95, warm_p99 = exact_quantiles sorted_warm in
+  (* The cold/warm splits only ever surface as quantiles, so selection
+     is enough — the k-th order statistic is the same value the full
+     sort would put at index k.  [resp] stays fully sorted because its
+     mean is a fold in ascending order and float addition is not
+     associative. *)
+  let cold_p50, cold_p95, cold_p99 =
+    select_quantiles (Array.sub cold 0 !n_cold)
+  in
+  let warm_p50, warm_p95, warm_p99 =
+    select_quantiles (Array.sub warm 0 !n_warm)
+  in
   let over = ref 0 in
   Array.iter (fun r -> if r > slo_ns then incr over) sorted;
   let mean =
@@ -157,9 +169,13 @@ let rollup ~arrival ~slo_ns ~cold_until_ns ~(sc : Workload.Scenario.t)
 
 (* Tail-inspector entry for one delivered query, split into its
    queueing and service components — only when a profiler is ambient
-   and the response qualifies for the kept set. *)
-let note_tail ~qid ~batch ~arrived ~started ~finished =
-  match Obs.Profile.current () with
+   and the response qualifies for the kept set.  [prof] is the ambient
+   profiler frozen once at the top of the run: the recorder is
+   installed around the whole run, so per-delivery [Obs.Profile.current]
+   lookups (a Domain.DLS read each) would always return the same
+   answer. *)
+let note_tail ~prof ~qid ~batch ~arrived ~started ~finished =
+  match prof with
   | Some p when Obs.Tail.qualifies (Obs.Profile.tail p) (finished -. arrived)
     ->
       Obs.Tail.note (Obs.Profile.tail p) ~id:qid ~ns:(finished -. arrived)
@@ -169,82 +185,125 @@ let note_tail ~qid ~batch ~arrived ~started ~finished =
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Parallel node epochs.  In methods A and B the nodes never
+   communicate: each one serves its own round-robin slice of the
+   arrivals against its own replica, so a node's entire timeline is one
+   epoch that can run on its own engine — and, when nothing is
+   recording, on its own domain.  Every accumulator is kept per node
+   and merged in node-index order afterwards, so the merged result is
+   one canonical value however the epochs were scheduled: jobs 1, 2
+   and 4 are byte-identical by construction.  The serving rollup needs
+   no merge at all — it reads the admission/delivery timestamp arrays,
+   which the nodes fill at disjoint indices. *)
+
+type epoch = {
+  ep_eng : Engine.t;
+  ep_machine : Machine.t;
+  ep_lat : Latency.t;
+  ep_errors : int;
+  ep_flushes : int;
+}
+
+(* Ambient recorders are domain-local: a worker domain would not see
+   the profiler/tracer/scope installed on the caller, so instrumented
+   runs keep every epoch inline.  The epoch structure (and thus every
+   output) is the same either way; only the scheduling differs. *)
+let recording () =
+  Obs.Profile.current () <> None
+  || Trace.current () <> None
+  || Obs.Cachescope.current () <> None
+
+let run_epochs ~jobs n_nodes sim =
+  if n_nodes < 1 then invalid_arg "Serve: need at least one node";
+  let thunks = List.init n_nodes (fun node () -> sim node) in
+  if jobs > 1 && not (recording ()) then
+    Array.of_list (Exec.Pool.run ~jobs:(min jobs n_nodes) thunks)
+  else Array.of_list (List.map (fun f -> f ()) thunks)
+
+let merge_epochs epochs =
+  let lat = Latency.create () in
+  Array.iter (fun e -> Latency.merge_into lat e.ep_lat) epochs;
+  let errors = Array.fold_left (fun a e -> a + e.ep_errors) 0 epochs in
+  (* The shared-engine clock after a run is the time of the last event,
+     i.e. the maximum over all nodes' final clocks. *)
+  let raw =
+    Array.fold_left (fun a e -> Float.max a (Engine.now e.ep_eng)) 0.0 epochs
+  in
+  (lat, errors, raw)
+
+let epoch_metrics epochs ~lat ~errors =
+  let engines = Array.to_list (Array.map (fun e -> e.ep_eng) epochs) in
+  Telemetry.snapshot
+    ~eng:(List.hd engines)
+    ~more_engines:(List.tl engines)
+    ~machines:(Array.map (fun e -> e.ep_machine) epochs)
+    ~latency:lat ~validation_errors:errors ()
+
+let mean_idle machines ~raw =
+  Array.fold_left
+    (fun acc m -> acc +. (1.0 -. (Machine.busy_ns m /. raw)))
+    0.0 machines
+  /. float_of_int (Array.length machines)
+
+(* ------------------------------------------------------------------ *)
 (* Method A: replicated tree on every node, arrivals dealt round-robin,
    one timed traversal per query.  The per-query [sync] is what lets a
    node fall visibly behind: accumulated lookup cost pushes the clock
    past the next admission time and the gap is queueing delay. *)
 
-let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
-    ~done_at ~finish =
+let serve_a (sc : Workload.Scenario.t) ~jobs ~keys ~queries ~arrivals
+    ~start_at ~done_at ~finish =
   let params = sc.Workload.Scenario.params in
   let n_nodes = sc.Workload.Scenario.n_nodes in
   let n = Array.length arrivals in
-  let eng = Engine.create () in
-  let machines =
-    Array.init n_nodes (fun i ->
-        Machine.create eng ~name:(Printf.sprintf "node%d" i) params)
-  in
-  let trees =
-    Array.map
-      (fun m ->
-        let lo = Machine.words_allocated m in
-        let tree = Index.Nary_tree.build m keys in
-        Machine.label_region m ~label:"partition" ~base:lo
-          ~words:(Machine.words_allocated m - lo);
-        tree)
-      machines
-  in
   let assign = round_robin n n_nodes in
-  let lat = Latency.create () in
-  let errors = ref 0 in
-  let r_bases = Array.make n_nodes 0 in
-  Array.iteri
-    (fun node my ->
-      let m = machines.(node) in
-      let cnt = Array.length my in
-      let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 cnt) in
-      let r_base = Machine.labelled_alloc m ~label:"results" (max 1 cnt) in
-      r_bases.(node) <- r_base;
-      Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
-      Machine.set_phase m "serve";
-      Engine.spawn eng ~name:(Printf.sprintf "node%d" node) (fun () ->
-          Array.iteri
-            (fun j qid ->
-              Machine.sync m;
-              let t = arrivals.(qid) in
-              let now = Engine.now eng in
-              if now < t then Engine.delay eng (t -. now);
-              start_at.(qid) <- Engine.now eng;
-              let q = Machine.read m (q_base + j) in
-              let rank = Index.Nary_tree.search trees.(node) q in
-              Machine.write m (r_base + j) rank;
-              Machine.sync m;
-              let fin = Engine.now eng in
-              done_at.(qid) <- fin;
-              note_tail ~qid ~batch:1 ~arrived:t ~started:start_at.(qid)
-                ~finished:fin;
-              Latency.add lat (fin -. t);
-              if qid land 63 = 0 then Machine.sample_residency m)
-            my))
-    assign;
-  Engine.run eng;
-  Array.iteri
-    (fun node my ->
-      Array.iteri
-        (fun j qid ->
-          if
-            Machine.peek machines.(node) (r_bases.(node) + j)
-            <> Index.Ref_impl.rank keys queries.(qid)
-          then incr errors)
-        my)
-    assign;
-  let raw = Engine.now eng in
-  let idle =
-    Array.fold_left
-      (fun acc m -> acc +. (1.0 -. (Machine.busy_ns m /. raw)))
-      0.0 machines
-    /. float_of_int n_nodes
+  let prof = Obs.Profile.current () in
+  let sim node =
+    let my = assign.(node) in
+    let eng = Engine.create () in
+    let m = Machine.create eng ~name:(Printf.sprintf "node%d" node) params in
+    let lo = Machine.words_allocated m in
+    let tree = Index.Nary_tree.build m keys in
+    Machine.label_region m ~label:"partition" ~base:lo
+      ~words:(Machine.words_allocated m - lo);
+    let lat = Latency.create () in
+    let cnt = Array.length my in
+    let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 cnt) in
+    let r_base = Machine.labelled_alloc m ~label:"results" (max 1 cnt) in
+    Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
+    Machine.set_phase m "serve";
+    Engine.spawn eng ~name:(Printf.sprintf "node%d" node) (fun () ->
+        Array.iteri
+          (fun j qid ->
+            Machine.sync m;
+            let t = arrivals.(qid) in
+            let now = Engine.now eng in
+            if now < t then Engine.delay eng (t -. now);
+            start_at.(qid) <- Engine.now eng;
+            let q = Machine.read m (q_base + j) in
+            let rank = Index.Nary_tree.search tree q in
+            Machine.write m (r_base + j) rank;
+            Machine.sync m;
+            let fin = Engine.now eng in
+            done_at.(qid) <- fin;
+            note_tail ~prof ~qid ~batch:1 ~arrived:t ~started:start_at.(qid)
+              ~finished:fin;
+            Latency.add lat (fin -. t);
+            if qid land 63 = 0 then Machine.sample_residency m)
+          my);
+    Engine.run eng;
+    let errors = ref 0 in
+    Array.iteri
+      (fun j qid ->
+        if Machine.peek m (r_base + j) <> Index.Ref_impl.rank keys queries.(qid)
+        then incr errors)
+      my;
+    { ep_eng = eng; ep_machine = m; ep_lat = lat; ep_errors = !errors;
+      ep_flushes = 0 }
   in
+  let epochs = run_epochs ~jobs n_nodes sim in
+  let machines = Array.map (fun e -> e.ep_machine) epochs in
+  let lat, errors, raw = merge_epochs epochs in
   {
     Run_result.method_id = Methods.A;
     scenario = sc.Workload.Scenario.name;
@@ -254,11 +313,11 @@ let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
     total_ns = raw;
     raw_ns = raw;
     per_key_ns = raw /. float_of_int (max 1 n);
-    slave_idle = idle;
+    slave_idle = mean_idle machines ~raw;
     master_busy = 0.0;
     messages = 0;
     bytes_sent = 0;
-    validation_errors = !errors;
+    validation_errors = errors;
     cache =
       Array.fold_left
         (fun acc m ->
@@ -268,9 +327,7 @@ let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
     overflow_flushes = 0;
     mean_response_ns = Latency.mean lat;
     p95_response_ns = Latency.percentile lat 0.95;
-    metrics =
-      Telemetry.snapshot ~eng ~machines ~latency:lat ~validation_errors:!errors
-        ();
+    metrics = epoch_metrics epochs ~lat ~errors;
     trace = None;
     profile = None;
     degraded = Run_result.no_degradation;
@@ -288,92 +345,75 @@ let serve_a (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
    grows and amortizes, which is exactly the buffered method's
    batch-size/latency tension under live traffic. *)
 
-let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
-    ~done_at ~finish =
+let serve_b (sc : Workload.Scenario.t) ~jobs ~keys ~queries ~arrivals
+    ~start_at ~done_at ~finish =
   let params = sc.Workload.Scenario.params in
   let n_nodes = sc.Workload.Scenario.n_nodes in
   let batch_keys = Workload.Scenario.queries_per_batch sc in
   let n = Array.length arrivals in
-  let eng = Engine.create () in
-  let machines =
-    Array.init n_nodes (fun i ->
-        Machine.create eng ~name:(Printf.sprintf "node%d" i) params)
-  in
-  let buffered =
-    Array.map
-      (fun m ->
-        let lo = Machine.words_allocated m in
-        let tree = Index.Nary_tree.build m keys in
-        Machine.label_region m ~label:"partition" ~base:lo
-          ~words:(Machine.words_allocated m - lo);
-        Index.Buffered.create ~max_batch:batch_keys tree)
-      machines
-  in
   let assign = round_robin n n_nodes in
-  let lat = Latency.create () in
-  let errors = ref 0 in
-  let r_bases = Array.make n_nodes 0 in
-  Array.iteri
-    (fun node my ->
-      let m = machines.(node) in
-      let cnt = Array.length my in
-      let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 cnt) in
-      let r_base = Machine.labelled_alloc m ~label:"results" (max 1 cnt) in
-      r_bases.(node) <- r_base;
-      Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
-      Machine.set_phase m "serve";
-      Engine.spawn eng ~name:(Printf.sprintf "node%d" node) (fun () ->
-          let pos = ref 0 in
-          while !pos < cnt do
-            Machine.sync m;
-            let t0 = arrivals.(my.(!pos)) in
-            let now = Engine.now eng in
-            if now < t0 then Engine.delay eng (t0 -. now);
-            let started = Engine.now eng in
-            let j = ref (!pos + 1) in
-            while
-              !j < cnt && !j - !pos < batch_keys
-              && arrivals.(my.(!j)) <= started
-            do
-              incr j
-            done;
-            let len = !j - !pos in
-            for k = !pos to !j - 1 do
-              start_at.(my.(k)) <- started
-            done;
-            Index.Buffered.process_batch buffered.(node)
-              ~queries:(q_base + !pos) ~results:(r_base + !pos) ~n:len;
-            Machine.sync m;
-            let fin = Engine.now eng in
-            for k = !pos to !j - 1 do
-              let qid = my.(k) in
-              done_at.(qid) <- fin;
-              note_tail ~qid ~batch:len ~arrived:arrivals.(qid)
-                ~started ~finished:fin;
-              Latency.add lat (fin -. arrivals.(qid))
-            done;
-            Machine.sample_residency m;
-            pos := !j
-          done))
-    assign;
-  Engine.run eng;
-  Array.iteri
-    (fun node my ->
-      Array.iteri
-        (fun j qid ->
-          if
-            Machine.peek machines.(node) (r_bases.(node) + j)
-            <> Index.Ref_impl.rank keys queries.(qid)
-          then incr errors)
-        my)
-    assign;
-  let raw = Engine.now eng in
-  let idle =
-    Array.fold_left
-      (fun acc m -> acc +. (1.0 -. (Machine.busy_ns m /. raw)))
-      0.0 machines
-    /. float_of_int n_nodes
+  let prof = Obs.Profile.current () in
+  let sim node =
+    let my = assign.(node) in
+    let eng = Engine.create () in
+    let m = Machine.create eng ~name:(Printf.sprintf "node%d" node) params in
+    let lo = Machine.words_allocated m in
+    let tree = Index.Nary_tree.build m keys in
+    Machine.label_region m ~label:"partition" ~base:lo
+      ~words:(Machine.words_allocated m - lo);
+    let buffered = Index.Buffered.create ~max_batch:batch_keys tree in
+    let lat = Latency.create () in
+    let cnt = Array.length my in
+    let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 cnt) in
+    let r_base = Machine.labelled_alloc m ~label:"results" (max 1 cnt) in
+    Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
+    Machine.set_phase m "serve";
+    Engine.spawn eng ~name:(Printf.sprintf "node%d" node) (fun () ->
+        let pos = ref 0 in
+        while !pos < cnt do
+          Machine.sync m;
+          let t0 = arrivals.(my.(!pos)) in
+          let now = Engine.now eng in
+          if now < t0 then Engine.delay eng (t0 -. now);
+          let started = Engine.now eng in
+          let j = ref (!pos + 1) in
+          while
+            !j < cnt && !j - !pos < batch_keys
+            && arrivals.(my.(!j)) <= started
+          do
+            incr j
+          done;
+          let len = !j - !pos in
+          for k = !pos to !j - 1 do
+            start_at.(my.(k)) <- started
+          done;
+          Index.Buffered.process_batch buffered
+            ~queries:(q_base + !pos) ~results:(r_base + !pos) ~n:len;
+          Machine.sync m;
+          let fin = Engine.now eng in
+          for k = !pos to !j - 1 do
+            let qid = my.(k) in
+            done_at.(qid) <- fin;
+            note_tail ~prof ~qid ~batch:len ~arrived:arrivals.(qid)
+              ~started ~finished:fin;
+            Latency.add lat (fin -. arrivals.(qid))
+          done;
+          Machine.sample_residency m;
+          pos := !j
+        done);
+    Engine.run eng;
+    let errors = ref 0 in
+    Array.iteri
+      (fun j qid ->
+        if Machine.peek m (r_base + j) <> Index.Ref_impl.rank keys queries.(qid)
+        then incr errors)
+      my;
+    { ep_eng = eng; ep_machine = m; ep_lat = lat; ep_errors = !errors;
+      ep_flushes = Index.Buffered.overflow_flushes buffered }
   in
+  let epochs = run_epochs ~jobs n_nodes sim in
+  let machines = Array.map (fun e -> e.ep_machine) epochs in
+  let lat, errors, raw = merge_epochs epochs in
   {
     Run_result.method_id = Methods.B;
     scenario = sc.Workload.Scenario.name;
@@ -383,11 +423,11 @@ let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
     total_ns = raw;
     raw_ns = raw;
     per_key_ns = raw /. float_of_int (max 1 n);
-    slave_idle = idle;
+    slave_idle = mean_idle machines ~raw;
     master_busy = 0.0;
     messages = 0;
     bytes_sent = 0;
-    validation_errors = !errors;
+    validation_errors = errors;
     cache =
       Array.fold_left
         (fun acc m ->
@@ -395,14 +435,10 @@ let serve_b (sc : Workload.Scenario.t) ~keys ~queries ~arrivals ~start_at
             (Cachesim.Hierarchy.stats (Machine.hierarchy m)))
         Cachesim.Hierarchy.zero_stats machines;
     overflow_flushes =
-      Array.fold_left
-        (fun acc b -> acc + Index.Buffered.overflow_flushes b)
-        0 buffered;
+      Array.fold_left (fun acc e -> acc + e.ep_flushes) 0 epochs;
     mean_response_ns = Latency.mean lat;
     p95_response_ns = Latency.percentile lat 0.95;
-    metrics =
-      Telemetry.snapshot ~eng ~machines ~latency:lat ~validation_errors:!errors
-        ();
+    metrics = epoch_metrics epochs ~lat ~errors;
     trace = None;
     profile = None;
     degraded = Run_result.no_degradation;
@@ -476,6 +512,7 @@ let serve_c ?faults ?series (sc : Workload.Scenario.t) ~variant ~keys ~queries
   let expected = Array.map (fun q -> Index.Ref_impl.rank keys q) queries in
   let errors = ref 0 in
   let lat = Latency.create () in
+  let prof = Obs.Profile.current () in
   let next_batch_id = ref 0 in
   let in_flight : (int, Failover.pending) Hashtbl.t = Hashtbl.create 256 in
   let fo =
@@ -598,7 +635,7 @@ let serve_c ?faults ?series (sc : Workload.Scenario.t) ~variant ~keys ~queries
           if Partition.base part s + rank <> expected.(qid) then incr errors;
           let fin = Engine.now eng in
           done_at.(qid) <- fin;
-          note_tail ~qid ~batch:(Array.length ranks) ~arrived:arrivals.(qid)
+          note_tail ~prof ~qid ~batch:(Array.length ranks) ~arrived:arrivals.(qid)
             ~started:start_at.(qid) ~finished:fin;
           Latency.add lat (fin -. arrivals.(qid)))
         ranks
@@ -665,7 +702,7 @@ let serve_c ?faults ?series (sc : Workload.Scenario.t) ~variant ~keys ~queries
             (fun qid ->
               let fin = Engine.now eng in
               done_at.(qid) <- fin;
-              note_tail ~qid ~batch:len ~arrived:arrivals.(qid)
+              note_tail ~prof ~qid ~batch:len ~arrived:arrivals.(qid)
                 ~started:start_at.(qid) ~finished:fin;
               Latency.add lat (fin -. arrivals.(qid)))
             p.Failover.qids
@@ -772,7 +809,7 @@ let serve_c ?faults ?series (sc : Workload.Scenario.t) ~variant ~keys ~queries
 
 (* ------------------------------------------------------------------ *)
 
-let run_method ?faults ?(timeline = false) ?timeline_window_ns
+let run_method ?faults ?(timeline = false) ?timeline_window_ns ?(jobs = 1)
     (sc : Workload.Scenario.t) ~arrival ~slo_ns ~method_id ~keys ~queries
     ~arrivals =
   let n = Array.length arrivals in
@@ -793,9 +830,9 @@ let run_method ?faults ?(timeline = false) ?timeline_window_ns
   let drive () =
     match (method_id : Methods.id) with
     | Methods.A ->
-        serve_a sc ~keys ~queries ~arrivals ~start_at ~done_at ~finish
+        serve_a sc ~jobs ~keys ~queries ~arrivals ~start_at ~done_at ~finish
     | Methods.B ->
-        serve_b sc ~keys ~queries ~arrivals ~start_at ~done_at ~finish
+        serve_b sc ~jobs ~keys ~queries ~arrivals ~start_at ~done_at ~finish
     | Methods.C1 | Methods.C2 | Methods.C3 ->
         serve_c ?faults ?series sc ~variant:method_id ~keys ~queries ~arrivals
           ~start_at ~done_at ~finish
@@ -867,7 +904,8 @@ let run_method_spec (spec : Experiment.Spec.t) sc ~arrival ~method_id ~keys
     Experiment.with_run_instrumented spec (fun () ->
         (run_method ~faults:spec.Experiment.Spec.faults
            ~timeline:(Experiment.Spec.timelining spec)
-           ?timeline_window_ns:spec.Experiment.Spec.timeline_window_ns sc
+           ?timeline_window_ns:spec.Experiment.Spec.timeline_window_ns
+           ~jobs:spec.Experiment.Spec.jobs sc
            ~arrival ~slo_ns:spec.Experiment.Spec.slo_ns ~method_id ~keys
            ~queries ~arrivals)
           .run)

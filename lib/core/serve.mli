@@ -44,6 +44,7 @@ val run_method :
   ?faults:Fault.Spec.t ->
   ?timeline:bool ->
   ?timeline_window_ns:float ->
+  ?jobs:int ->
   Workload.Scenario.t ->
   arrival:Workload.Arrival.t ->
   slo_ns:float ->
@@ -61,7 +62,14 @@ val run_method :
     (default: horizon/32) with per-window load/latency/queue/busy/SLO
     readings plus fault events pinned to their window.
     [timeline_window_ns] also moves the cold/warm split of the serving
-    rollup (always at four windows), with or without [timeline]. *)
+    rollup (always at four windows), with or without [timeline].
+
+    [jobs] (default 1) runs Methods A and B's independent node epochs
+    on that many worker domains; outputs are byte-identical at any
+    value because every per-node accumulator is merged in node-index
+    order.  Runs with a profiler, tracer or cache microscope installed
+    stay sequential (the recorders are domain-local), as does the
+    Method C family (its nodes exchange messages through one engine). *)
 
 val run : Experiment.Spec.t -> report list
 (** One serving run per [spec.methods] entry on a shared workload,

@@ -16,6 +16,7 @@
 
 val snapshot :
   eng:Simcore.Engine.t ->
+  ?more_engines:Simcore.Engine.t list ->
   ?net:'a Netsim.Network.t ->
   machines:Machine.t array ->
   latency:Latency.t ->

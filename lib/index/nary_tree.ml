@@ -111,19 +111,22 @@ let info t =
 
 (* One interior step: first slot with q < separator, then follow its
    pointer.  The sentinel padding guarantees the scan stops within the
-   node. *)
+   node.  The scans are top-level recursions with explicit arguments — a
+   local [let rec] capturing the node address would allocate a closure
+   per visited node without flambda. *)
+let rec scan_sep_timed m addr q i =
+  if q < Machine.read m (addr + i) then i else scan_sep_timed m addr q (i + 1)
+
 let step_timed t addr q =
-  let rec scan i =
-    if q < Machine.read t.m (addr + i) then i else scan (i + 1)
-  in
-  let i = scan 0 in
+  let i = scan_sep_timed t.m addr q 0 in
   Machine.read t.m (addr + t.k + i)
 
+let rec scan_sep_untimed m addr q i =
+  if q < Machine.peek m (addr + i) then i
+  else scan_sep_untimed m addr q (i + 1)
+
 let step_untimed t addr q =
-  let rec scan i =
-    if q < Machine.peek t.m (addr + i) then i else scan (i + 1)
-  in
-  let i = scan 0 in
+  let i = scan_sep_untimed t.m addr q 0 in
   Machine.peek t.m (addr + t.k + i)
 
 let node_cost t = (Machine.params t.m).Cachesim.Mem_params.comp_cost_node_ns
@@ -137,15 +140,19 @@ let descend t ~addr ~steps q =
   done;
   !a
 
-let leaf_scan_count ~read t addr q =
-  let rec scan i = if i = t.k || q < read (addr + i) then i else scan (i + 1) in
-  scan 0
+let rec leaf_scan_timed m k addr q i =
+  if i = k || q < Machine.read m (addr + i) then i
+  else leaf_scan_timed m k addr q (i + 1)
+
+let rec leaf_scan_untimed m k addr q i =
+  if i = k || q < Machine.peek m (addr + i) then i
+  else leaf_scan_untimed m k addr q (i + 1)
 
 let leaf_index t addr = (addr - t.bases.(t.t_levels - 1)) / t.node_words
 
 let leaf_rank t ~addr q =
   Machine.compute t.m (node_cost t);
-  let c = leaf_scan_count ~read:(Machine.read t.m) t addr q in
+  let c = leaf_scan_timed t.m t.k addr q 0 in
   (leaf_index t addr * t.k) + c
 
 let search t q =
@@ -157,7 +164,7 @@ let search_untimed t q =
   for _ = 1 to t.t_levels - 1 do
     a := step_untimed t !a q
   done;
-  let c = leaf_scan_count ~read:(Machine.peek t.m) t !a q in
+  let c = leaf_scan_untimed t.m t.k !a q 0 in
   (leaf_index t !a * t.k) + c
 
 let node_index t ~level ~addr =

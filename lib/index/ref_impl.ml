@@ -1,4 +1,6 @@
-let rank keys q =
+(* The int annotations matter: unannotated, the [<=] below compiles to a
+   polymorphic comparison call per probe step. *)
+let rank (keys : int array) (q : int) =
   let lo = ref 0 and hi = ref (Array.length keys) in
   (* invariant: keys.(i) <= q for i < lo; keys.(i) > q for i >= hi *)
   while !lo < !hi do

@@ -5,11 +5,19 @@ type t = {
   hier : Cachesim.Hierarchy.t;
   mutable mem : int array;
   mutable brk : int; (* next free word *)
-  mutable pending : float;
-  mutable busy : float;
+  acc : float array; (* [|pending; busy|] — float-array stores keep the
+                        per-access charge unboxed (mutable float fields
+                        in this mixed record would box every addend) *)
+  prof : Obs.Profile.t option; (* ambient recorders frozen at creation — *)
+  tracer : Simcore.Trace.t option; (* installed around whole runs, so the
+                                      hot path skips the DLS lookups *)
 }
 
-let initial_words = 1 lsl 16
+(* [ensure] doubles on demand, so this only sets the floor; a small
+   floor keeps the per-run [Array.make] zeroing and the host cache
+   footprint of idle machines proportional to what a run actually
+   allocates. *)
+let initial_words = 1 lsl 12
 
 let create eng ?(name = "node") (p : Cachesim.Mem_params.t) =
   let hier = Cachesim.Hierarchy.create p in
@@ -26,8 +34,9 @@ let create eng ?(name = "node") (p : Cachesim.Mem_params.t) =
     hier;
     mem = Array.make initial_words 0;
     brk = 0;
-    pending = 0.0;
-    busy = 0.0;
+    acc = [| 0.0; 0.0 |];
+    prof = Obs.Profile.current ();
+    tracer = Simcore.Trace.current ();
   }
 
 let engine t = t.eng
@@ -63,8 +72,8 @@ let alloc t ?align_words n =
   base
 
 let charge t ns =
-  t.pending <- t.pending +. ns;
-  t.busy <- t.busy +. ns
+  Array.unsafe_set t.acc 0 (Array.unsafe_get t.acc 0 +. ns);
+  Array.unsafe_set t.acc 1 (Array.unsafe_get t.acc 1 +. ns)
 
 let check t a =
   if a < 0 || a >= t.brk then
@@ -72,34 +81,37 @@ let check t a =
       (Printf.sprintf "Machine.%s: word address %d outside [0,%d)" t.node_name
          a t.brk)
 
+(* [check] established [0 <= a < brk <= Array.length mem], so the data
+   reads/writes below are unchecked. *)
+
 let read t a =
   check t a;
-  charge t
-    (Cachesim.Hierarchy.access t.hier ~addr:(a * t.p.word_bytes) ~write:false);
-  t.mem.(a)
+  Cachesim.Hierarchy.access_into t.hier ~addr:(a * t.p.word_bytes)
+    ~write:false ~charge:t.acc;
+  Array.unsafe_get t.mem a
 
 let write t a v =
   check t a;
-  charge t
-    (Cachesim.Hierarchy.access t.hier ~addr:(a * t.p.word_bytes) ~write:true);
-  t.mem.(a) <- v
+  Cachesim.Hierarchy.access_into t.hier ~addr:(a * t.p.word_bytes) ~write:true
+    ~charge:t.acc;
+  Array.unsafe_set t.mem a v
 
 let set_phase t phase = Cachesim.Hierarchy.set_phase t.hier phase
 let phase t = Cachesim.Hierarchy.phase t.hier
 
 let compute t ns =
   if ns < 0.0 then invalid_arg "Machine.compute: negative cost";
-  (match Obs.Profile.current () with
+  (match t.prof with
   | Some p ->
       Obs.Profile.charge p ~path:[ Cachesim.Hierarchy.phase t.hier; "cpu" ] ns
   | None -> ());
   charge t ns
 
 let sync t =
-  if t.pending > 0.0 then begin
-    let dt = t.pending in
-    t.pending <- 0.0;
-    (match Simcore.Trace.current () with
+  let dt = Array.unsafe_get t.acc 0 in
+  if dt > 0.0 then begin
+    Array.unsafe_set t.acc 0 0.0;
+    (match t.tracer with
     | Some tr ->
         let now = Simcore.Engine.now t.eng in
         Simcore.Trace.add tr ~lane:t.node_name ~label:"busy" ~t0:now
@@ -108,8 +120,8 @@ let sync t =
     Simcore.Engine.delay t.eng dt
   end
 
-let pending_ns t = t.pending
-let busy_ns t = t.busy
+let pending_ns t = t.acc.(0)
+let busy_ns t = t.acc.(1)
 
 let peek t a =
   check t a;
@@ -152,6 +164,6 @@ let sample_residency t =
 
 let record_metrics t reg =
   let labels = [ ("node", t.node_name) ] in
-  Obs.Metrics.incr_f reg ~labels "node_busy_ns" t.busy;
+  Obs.Metrics.incr_f reg ~labels "node_busy_ns" t.acc.(1);
   Obs.Metrics.gauge reg ~labels "node_words_allocated" (float_of_int t.brk);
   Cachesim.Hierarchy.record_metrics t.hier ~labels reg

@@ -1,9 +1,18 @@
+(* Exponents in [-128, 127] (every latency, distance or count a
+   simulation produces) live in the flat [counts] array at [e + 128];
+   anything outside — the [<= 0] bucket at [min_int], subnormals,
+   infinities — spills to the hashtable.  [acc] holds
+   [|sum; min; max|]: float-array slots keep the per-observation
+   accumulation unboxed, where mutable float fields in this mixed
+   record would box every store. *)
+let lo_e = -128
+let n_direct = 256
+
 type t = {
   mutable count : int;
-  mutable sum : float;
-  mutable min_v : float;
-  mutable max_v : float;
-  buckets : (int, int) Hashtbl.t;
+  acc : float array; (* [|sum; min_v; max_v|] *)
+  counts : int array; (* counts.(e - lo_e) *)
+  spill : (int, int) Hashtbl.t;
 }
 
 type snapshot = {
@@ -17,69 +26,88 @@ type snapshot = {
 let create () : t =
   {
     count = 0;
-    sum = 0.0;
-    min_v = infinity;
-    max_v = neg_infinity;
-    buckets = Hashtbl.create 16;
+    acc = [| 0.0; infinity; neg_infinity |];
+    counts = Array.make n_direct 0;
+    spill = Hashtbl.create 4;
   }
 
 (* Bucket exponent: smallest e with v <= 2^e, i.e. v in (2^(e-1), 2^e].
    frexp gives v = m * 2^e with m in [0.5, 1), so e is the answer except
-   exactly at powers of two, where frexp's e is one too high. *)
+   exactly at powers of two, where frexp's e is one too high.  The hot
+   path reads the exponent straight out of the IEEE-754 bit pattern
+   (composed [Int64] conversions stay unboxed); [frexp] — which
+   allocates its result pair — remains only for subnormals and
+   infinities, where it gives the same answer it always did. *)
 let bucket_of v =
   if v <= 0.0 then min_int
-  else
-    let m, e = Float.frexp v in
-    if m = 0.5 then e - 1 else e
+  else begin
+    let biased =
+      Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float v) 52)
+      land 0x7FF
+    in
+    if biased = 0 || biased = 0x7FF then begin
+      let m, e = Float.frexp v in
+      if m = 0.5 then e - 1 else e
+    end
+    else if Int64.to_int (Int64.bits_of_float v) land 0xF_FFFF_FFFF_FFFF = 0
+    then biased - 1023 (* power of two: mantissa bits clear *)
+    else biased - 1022
+  end
 
 let bucket_upper e = if e = min_int then 0.0 else Float.ldexp 1.0 e
+
+let bump t e k =
+  let i = e - lo_e in
+  if i >= 0 && i < n_direct then
+    Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + k)
+  else
+    let cur = Option.value (Hashtbl.find_opt t.spill e) ~default:0 in
+    Hashtbl.replace t.spill e (cur + k)
 
 let observe_n (t : t) v k =
   if k < 0 then invalid_arg "Hist.observe_n: negative count";
   if k > 0 then begin
     t.count <- t.count + k;
-    t.sum <- t.sum +. (v *. float_of_int k);
-    if v < t.min_v then t.min_v <- v;
-    if v > t.max_v then t.max_v <- v;
-    let b = bucket_of v in
-    let cur = Option.value (Hashtbl.find_opt t.buckets b) ~default:0 in
-    Hashtbl.replace t.buckets b (cur + k)
+    let a = t.acc in
+    Array.unsafe_set a 0 (Array.unsafe_get a 0 +. (v *. float_of_int k));
+    if v < Array.unsafe_get a 1 then Array.unsafe_set a 1 v;
+    if v > Array.unsafe_get a 2 then Array.unsafe_set a 2 v;
+    bump t (bucket_of v) k
   end
 
 let observe t v = observe_n t v 1
 
 let add_snapshot (t : t) (s : snapshot) =
   t.count <- t.count + s.count;
-  t.sum <- t.sum +. s.sum;
-  if s.min_v < t.min_v then t.min_v <- s.min_v;
-  if s.max_v > t.max_v then t.max_v <- s.max_v;
-  List.iter
-    (fun (e, c) ->
-      let cur = Option.value (Hashtbl.find_opt t.buckets e) ~default:0 in
-      Hashtbl.replace t.buckets e (cur + c))
-    s.buckets
+  t.acc.(0) <- t.acc.(0) +. s.sum;
+  if s.min_v < t.acc.(1) then t.acc.(1) <- s.min_v;
+  if s.max_v > t.acc.(2) then t.acc.(2) <- s.max_v;
+  List.iter (fun (e, c) -> bump t e c) s.buckets
 
 let merge_into (dst : t) (src : t) =
   if dst == src then invalid_arg "Hist.merge_into: dst and src must differ";
   dst.count <- dst.count + src.count;
-  dst.sum <- dst.sum +. src.sum;
-  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
-  if src.max_v > dst.max_v then dst.max_v <- src.max_v;
-  Hashtbl.iter
-    (fun e c ->
-      let cur = Option.value (Hashtbl.find_opt dst.buckets e) ~default:0 in
-      Hashtbl.replace dst.buckets e (cur + c))
-    src.buckets
+  dst.acc.(0) <- dst.acc.(0) +. src.acc.(0);
+  if src.acc.(1) < dst.acc.(1) then dst.acc.(1) <- src.acc.(1);
+  if src.acc.(2) > dst.acc.(2) then dst.acc.(2) <- src.acc.(2);
+  for i = 0 to n_direct - 1 do
+    if src.counts.(i) <> 0 then
+      dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  Hashtbl.iter (fun e c -> bump dst e c) src.spill
 
 let snapshot (t : t) : snapshot =
   {
     count = t.count;
-    sum = t.sum;
-    min_v = t.min_v;
-    max_v = t.max_v;
+    sum = t.acc.(0);
+    min_v = t.acc.(1);
+    max_v = t.acc.(2);
     buckets =
-      Hashtbl.fold (fun e c acc -> (e, c) :: acc) t.buckets []
-      |> List.sort (fun (a, _) (b, _) -> compare a b);
+      (let l = ref (Hashtbl.fold (fun e c acc -> (e, c) :: acc) t.spill []) in
+       for i = n_direct - 1 downto 0 do
+         if t.counts.(i) <> 0 then l := (i + lo_e, t.counts.(i)) :: !l
+       done;
+       List.sort (fun (a, _) (b, _) -> compare a b) !l);
   }
 
 let empty =

@@ -84,14 +84,17 @@ let check_failure t =
   | None -> ()
 
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some (time, _seq, f) ->
-      t.now <- time;
-      t.events <- t.events + 1;
-      f ();
-      check_failure t;
-      true
+  if Pqueue.is_empty t.queue then false
+  else begin
+    (* No option/tuple per event: read the head time, then pop just the
+       payload. *)
+    t.now <- Pqueue.top_time t.queue;
+    t.events <- t.events + 1;
+    let f = Pqueue.pop_payload t.queue in
+    f ();
+    check_failure t;
+    true
+  end
 
 let run t = while step t do () done
 
@@ -104,8 +107,8 @@ let record_metrics t reg =
 let run_until t horizon =
   let continue = ref true in
   while !continue do
-    match Pqueue.peek_time t.queue with
-    | Some time when time <= horizon -> ignore (step t)
-    | Some _ | None -> continue := false
+    if Pqueue.is_empty t.queue || Pqueue.top_time t.queue > horizon then
+      continue := false
+    else ignore (step t)
   done;
   if t.now < horizon then t.now <- horizon

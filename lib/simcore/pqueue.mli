@@ -1,10 +1,13 @@
-(** Binary min-heap keyed by [(time, seq)] used as the event queue of the
+(** 4-ary min-heap keyed by [(time, seq)] used as the event queue of the
     discrete-event engine.
 
     The secondary key [seq] makes the ordering of simultaneous events total
     and deterministic: events scheduled earlier (smaller [seq]) fire first.
     The heap is specialised to this double key rather than a polymorphic
-    comparator because it sits on the hot path of every simulation step. *)
+    comparator because it sits on the hot path of every simulation step;
+    internally times are held as order-preserving unboxed int keys, so
+    push/pop allocate nothing.  Use {!top_time}/{!pop_payload} on the hot
+    path; {!pop}/{!peek_time} are option-allocating conveniences. *)
 
 type 'a t
 
@@ -21,6 +24,15 @@ val push : 'a t -> time:float -> seq:int -> 'a -> unit
 
 val pop : 'a t -> (float * int * 'a) option
 (** [pop q] removes and returns the minimum element, or [None] if empty. *)
+
+val top_time : 'a t -> float
+(** Time of the minimum element without removing it.
+    @raise Invalid_argument when empty — pair with {!is_empty}. *)
+
+val pop_payload : 'a t -> 'a
+(** Remove the minimum element and return its payload alone, without
+    allocating the option/tuple of {!pop}.
+    @raise Invalid_argument when empty — pair with {!is_empty}. *)
 
 val peek_time : 'a t -> float option
 (** Time of the minimum element without removing it. *)

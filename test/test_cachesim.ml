@@ -117,6 +117,194 @@ let test_cache_bad_geometry_rejected () =
     (Invalid_argument "Cache.create: size not a multiple of line * ways")
     (fun () -> ignore (Cache.create ~size_bytes:100 ~line_bytes:32 ~ways:2 ()))
 
+(* Reference model for the optimized cache: the same LRU semantics
+   written with none of the production tricks — separate tag/stamp/dirty
+   arrays instead of the interleaved [meta] array, no way-hint table, no
+   unsafe accesses.  The production fast path must be bit-identical to
+   this over arbitrary operation streams; in particular a hint hit and
+   the full way scan must pick the same slot. *)
+module Ref_cache = struct
+  type t = {
+    sets : int;
+    ways : int;
+    line_shift : int;
+    tag : int array array;
+    stamp : int array array;
+    dirty : bool array array;
+    mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+    mutable writebacks : int;
+    mutable probe_line : int;
+    mutable probe_set : int;
+  }
+
+  let log2 n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+    go 0 n
+
+  let create ~size_bytes ~line_bytes ~ways =
+    let sets = size_bytes / (line_bytes * ways) in
+    {
+      sets;
+      ways;
+      line_shift = log2 line_bytes;
+      tag = Array.make_matrix sets ways (-1);
+      stamp = Array.make_matrix sets ways 0;
+      dirty = Array.make_matrix sets ways false;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      writebacks = 0;
+      probe_line = -1;
+      probe_set = 0;
+    }
+
+  let find_way t s line =
+    let found = ref (-1) in
+    for w = 0 to t.ways - 1 do
+      if !found = -1 && t.tag.(s).(w) = line then found := w
+    done;
+    !found
+
+  let probe t ~addr ~write =
+    let line = addr lsr t.line_shift in
+    let s = line land (t.sets - 1) in
+    t.probe_line <- line;
+    t.probe_set <- s;
+    let w = find_way t s line in
+    if w >= 0 then begin
+      t.hits <- t.hits + 1;
+      t.tick <- t.tick + 1;
+      t.stamp.(s).(w) <- t.tick;
+      if write then t.dirty.(s).(w) <- true;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      false
+    end
+
+  let fill_probed t ~write =
+    let line = t.probe_line in
+    let s = t.probe_set in
+    (* First empty way, else the smallest stamp with the first minimum
+       winning ties. *)
+    let w =
+      match find_way t s (-1) with
+      | -1 ->
+          let best = ref 0 in
+          for w = 1 to t.ways - 1 do
+            if t.stamp.(s).(w) < t.stamp.(s).(!best) then best := w
+          done;
+          !best
+      | empty -> empty
+    in
+    let wrote_back =
+      if t.tag.(s).(w) <> -1 then begin
+        t.evictions <- t.evictions + 1;
+        if t.dirty.(s).(w) then begin
+          t.writebacks <- t.writebacks + 1;
+          true
+        end
+        else false
+      end
+      else false
+    in
+    t.tick <- t.tick + 1;
+    t.tag.(s).(w) <- line;
+    t.stamp.(s).(w) <- t.tick;
+    t.dirty.(s).(w) <- write;
+    wrote_back
+
+  let invalidate t ~addr =
+    let line = addr lsr t.line_shift in
+    let s = line land (t.sets - 1) in
+    match find_way t s line with
+    | -1 -> ()
+    | w ->
+        t.tag.(s).(w) <- -1;
+        t.stamp.(s).(w) <- 0;
+        t.dirty.(s).(w) <- false
+
+  let flush t =
+    for s = 0 to t.sets - 1 do
+      for w = 0 to t.ways - 1 do
+        t.tag.(s).(w) <- -1;
+        t.stamp.(s).(w) <- 0;
+        t.dirty.(s).(w) <- false
+      done
+    done
+end
+
+(* One random operation against both implementations; [`Access] is the
+   fused hot path (probe, fill on miss) exactly as Hierarchy drives it. *)
+let cache_op_gen =
+  QCheck.Gen.(
+    pair (int_range 0 8191) (pair (int_range 0 5) bool)
+    |> map (fun (addr, (op, write)) -> (addr, op, write)))
+
+let cache_op_print (addr, op, write) =
+  Printf.sprintf "(addr=%d, op=%d, write=%b)" addr op write
+
+(* Geometries chosen to cover the production shapes: low-associativity
+   sets (hint table degenerates to one shared slot) and a small
+   fully-associative "TLB" at ways >= 16 (real hint table). *)
+let cache_geometries =
+  [
+    (1024, 32, 4);    (* 8 sets x 4 ways *)
+    (512, 64, 2);     (* 4 sets x 2 ways *)
+    (1024, 64, 16);   (* fully associative, hinted *)
+  ]
+
+let prop_cache_fast_path_matches_reference =
+  QCheck.Test.make ~name:"optimized cache = reference model" ~count:200
+    (QCheck.make
+       ~print:QCheck.Print.(list cache_op_print)
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 0 400) cache_op_gen))
+    (fun ops ->
+      List.for_all
+        (fun (size_bytes, line_bytes, ways) ->
+          let c = Cache.create ~size_bytes ~line_bytes ~ways () in
+          let r = Ref_cache.create ~size_bytes ~line_bytes ~ways in
+          List.for_all
+            (fun (addr, op, write) ->
+              match op with
+              | 0 | 1 | 2 ->
+                  (* Fused access+fill, the steady-state path. *)
+                  let h = Cache.probe c ~addr ~write in
+                  let h' = Ref_cache.probe r ~addr ~write in
+                  h = h'
+                  &&
+                  if h then true
+                  else Cache.fill_probed c ~write = Ref_cache.fill_probed r ~write
+              | 3 -> Cache.probe c ~addr ~write = Ref_cache.probe r ~addr ~write
+              | 4 ->
+                  (* [fill] may only follow a missing probe (a resident
+                     line must not be duplicated into a second way), so
+                     the standalone-fill op checks residency instead. *)
+                  let line = addr lsr r.Ref_cache.line_shift in
+                  Cache.resident c ~addr
+                  = (Ref_cache.find_way r
+                       (line land (r.Ref_cache.sets - 1))
+                       line
+                     >= 0)
+              | _ ->
+                  (if write then Cache.flush c else Cache.invalidate c ~addr);
+                  (if write then Ref_cache.flush r
+                   else Ref_cache.invalidate r ~addr);
+                  true)
+            ops
+          &&
+          let s = Cache.stats c in
+          s.Cache.hits = r.Ref_cache.hits
+          && s.Cache.misses = r.Ref_cache.misses
+          && s.Cache.evictions = r.Ref_cache.evictions
+          && s.Cache.writebacks = r.Ref_cache.writebacks)
+        cache_geometries)
+
 let prop_cache_resident_after_fill =
   QCheck.Test.make ~name:"fill makes line resident" ~count:500
     QCheck.(int_range 0 1_000_000)
@@ -539,5 +727,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_cache_resident_after_fill; prop_cache_occupancy_bounded ] );
+          [
+            prop_cache_resident_after_fill;
+            prop_cache_occupancy_bounded;
+            prop_cache_fast_path_matches_reference;
+          ] );
     ]

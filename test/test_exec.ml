@@ -145,6 +145,24 @@ let test_sweep_keyed_order () =
 let test_sweep_default_jobs_positive () =
   check_bool "default jobs >= 1" true (Exec.Sweep.default_jobs () >= 1)
 
+let test_sweep_chunk_rejects_zero () =
+  check_bool "chunk:0 rejected" true
+    (match Exec.Sweep.map ~jobs:2 ~chunk:0 ~f:Fun.id [ 1; 2; 3 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Interleaved chunked submission must be invisible in the output: any
+   (n, jobs, chunk) triple collects the same list as a plain map,
+   including the edge shapes (empty, chunk > n, n not a multiple of the
+   chunk count). *)
+let prop_sweep_chunked_matches_map =
+  QCheck.Test.make ~name:"chunked interleaved sweep = List.map" ~count:40
+    QCheck.(triple (int_range 0 150) (int_range 1 4) (int_range 1 19))
+    (fun (n, jobs, chunk) ->
+      let f i = (i * 31) + 7 in
+      let xs = List.init n (fun i -> i) in
+      Exec.Sweep.map ~jobs ~chunk ~f xs = List.map f xs)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "exec"
@@ -172,5 +190,9 @@ let () =
         [
           tc "keyed submission order" `Quick test_sweep_keyed_order;
           tc "default jobs" `Quick test_sweep_default_jobs_positive;
+          tc "chunk guard" `Quick test_sweep_chunk_rejects_zero;
         ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sweep_chunked_matches_map ] );
     ]

@@ -147,6 +147,33 @@ let test_serve_jobs_invariant () =
   check_bool "jobs 1 = 2" true (j1 = lines 2);
   check_bool "jobs 1 = 4" true (j1 = lines 4)
 
+(* QCheck form of the jobs invariance, aimed at the epoch-parallel
+   methods: across random offered loads, the whole report — Run_result
+   (cache counters, latency moments, metrics snapshot) plus the serving
+   rollup — compares structurally equal at jobs 1, 2 and 4.  This is
+   stronger than the CSV gate above: it pins every per-node accumulator
+   the node-ordered merge touches, not just the rendered columns. *)
+let prop_parallel_epochs_reproduce_sequential =
+  QCheck.Test.make ~name:"parallel node epochs = sequential at jobs 1/2/4"
+    ~count:4
+    QCheck.(pair (int_range 50 400) bool)
+    (fun (rate_kqps, use_b) ->
+      let arrival =
+        Workload.Arrival.poisson (1e3 *. float_of_int rate_kqps)
+      in
+      let method_id =
+        if use_b then Dispatch.Methods.B else Dispatch.Methods.A
+      in
+      let keys, queries, arrivals =
+        Dispatch.Serve.workload serve_sc ~arrival
+      in
+      let report jobs =
+        Dispatch.Serve.run_method ~jobs serve_sc ~arrival ~slo_ns:1e6
+          ~method_id ~keys ~queries ~arrivals
+      in
+      let r1 = report 1 in
+      Stdlib.compare r1 (report 2) = 0 && Stdlib.compare r1 (report 4) = 0)
+
 (* Serving composes with fault injection: a mid-run slave crash degrades
    the run (lost or fallback-answered queries) but never produces a
    wrong rank, and every lost query counts as an SLO violation. *)
@@ -410,4 +437,7 @@ let () =
           tc "jobs invariant" `Quick test_timeline_jobs_invariant;
         ] );
       ("spec", [ tc "builder guards" `Quick test_spec_guards ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_parallel_epochs_reproduce_sequential ] );
     ]
