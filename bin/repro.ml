@@ -155,7 +155,52 @@ let run_fig4 spec years =
   print_string
     (Dispatch.Experiment.render_fig4 (Dispatch.Experiment.fig4 ~years spec))
 
-let run_ablation spec which =
+(* The dynamic-index study exports per-cell results (base columns plus
+   dyn.* update accounting) — it gets the full run treatment the other
+   ablation tables don't need. *)
+let run_ablation_updates spec csv =
+  let sc = Spec.scenario spec in
+  say "%a@\n" Workload.Scenario.pp sc;
+  let tbl, rows = Dispatch.Ablation.updates spec in
+  say "ablation updates:@\n@\n%s" (Report.Table.render tbl);
+  let faulted = Spec.faulted spec in
+  (match csv with
+  | None -> ()
+  | Some path ->
+      let header =
+        ("updates" :: Dispatch.Run_result.header)
+        @ Dispatch.Dynamic.stats_header
+        @ (if faulted then Dispatch.Run_result.degraded_header else [])
+      in
+      let cells (u, r, st) =
+        (Workload.Mutation.to_string u :: Dispatch.Run_result.to_cells r)
+        @ Dispatch.Dynamic.stats_cells st
+        @
+        if faulted then Dispatch.Run_result.degraded_cells r else []
+      in
+      Report.Csv.save ~path ~header (List.map cells rows);
+      say "wrote %s" path);
+  let runs =
+    List.map
+      (fun (u, r, _) ->
+        ( Printf.sprintf "u=%g %s" u.Workload.Mutation.ratio
+            (Dispatch.Telemetry.run_label r),
+          r ))
+      rows
+  in
+  print_degraded runs;
+  print_profiles spec runs;
+  Dispatch.Experiment.emit_telemetry ~spec ~generator:"repro ablation updates"
+    runs;
+  print_scope spec runs;
+  check_validation runs
+
+let run_ablation spec which csv =
+  if String.lowercase_ascii which = "updates" then begin
+    run_ablation_updates spec csv;
+    `Ok ()
+  end
+  else
   let table =
     match String.lowercase_ascii which with
     | "batch-overhead" -> Ok (Dispatch.Ablation.batch_overhead spec)
@@ -178,7 +223,7 @@ let run_ablation spec which =
         ( false,
           Printf.sprintf
             "unknown ablation %S (batch-overhead | network | skew | masters \
-             | linesize | slave-structure | structures | hierarchy)"
+             | linesize | slave-structure | structures | hierarchy | updates)"
             other )
 
 let run_timeline spec =
@@ -297,11 +342,11 @@ let ablation_cmd =
       & info [] ~docv:"NAME"
           ~doc:
             "One of: batch-overhead, network, skew, masters, linesize, \
-             slave-structure, structures, hierarchy.")
+             slave-structure, structures, hierarchy, updates.")
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run an ablation study.")
-    Term.(ret (const run_ablation $ spec_term $ which))
+    Term.(ret (const run_ablation $ spec_term $ which $ csv_arg))
 
 let timeline_cmd =
   Cmd.v

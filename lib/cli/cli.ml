@@ -261,13 +261,37 @@ let cache_scope_arg =
     & opt ~vopt:(Some "-") (some string) None
     & info [ "cache-scope" ] ~docv:"BASE" ~doc)
 
+let updates_arg =
+  let doc =
+    "Update stream for the dynamic-index experiments: 'none' (default), \
+     a bare ratio like '0.2' (updates per query), or \
+     mix:ratio=R,inserts=F,segment=N,threshold=K,major=F with the \
+     insert fraction and the log-structured merge-policy knobs \
+     (segment capacity, size-tier merge threshold, major-compaction \
+     fraction).  E.g. 'mix:ratio=0.1,inserts=0.7,segment=128'."
+  in
+  let updates_conv =
+    Arg.conv
+      ( (fun s ->
+          match Workload.Mutation.parse s with
+          | Ok u -> Ok u
+          | Error msg -> Error (`Msg msg)),
+        fun fmt u ->
+          Format.pp_print_string fmt (Workload.Mutation.to_string u) )
+  in
+  Arg.(
+    value
+    & opt updates_conv Workload.Mutation.none
+    & info [ "updates" ] ~docv:"SPEC" ~doc)
+
 (* Apply an optional override; absent flags leave the value untouched. *)
 let override v f x = match v with Some v -> f v x | None -> x
 
 let spec_term =
   let build scale queries keys nodes masters batch batches network seed jobs
       methods metrics trace_json profile profile_folded tail_k faults arrival
-      slo duration offered_load clients timeline timeline_window cache_scope =
+      slo duration offered_load clients timeline timeline_window cache_scope
+      updates =
     let base =
       match String.lowercase_ascii scale with
       | "paper" -> Ok Workload.Scenario.paper
@@ -315,7 +339,8 @@ let spec_term =
           |> override batches Spec.with_batches
           |> override timeline Spec.with_timeline
           |> override timeline_window Spec.with_timeline_window
-          |> override cache_scope Spec.with_cache_scope)
+          |> override cache_scope Spec.with_cache_scope
+          |> Spec.with_updates updates)
   in
   Term.(
     term_result ~usage:true
@@ -324,4 +349,4 @@ let spec_term =
      $ jobs_arg $ methods_arg $ metrics_arg $ trace_json_arg $ profile_arg
      $ profile_folded_arg $ tail_arg $ faults_arg $ arrival_arg $ slo_arg
      $ duration_arg $ offered_load_arg $ clients_arg $ timeline_arg
-     $ timeline_window_arg $ cache_scope_arg))
+     $ timeline_window_arg $ cache_scope_arg $ updates_arg))

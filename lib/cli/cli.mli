@@ -61,3 +61,9 @@ val cache_scope_arg : string option Term.t
     classification, reuse-distance profiles, partition residency, set
     pressure); [Some "-"] (the bare-flag default) renders only, any
     other base also writes [BASE.csv] and [BASE.json]. *)
+
+val updates_arg : Workload.Mutation.t Term.t
+(** [--updates SPEC]: interleaved update stream for the dynamic-index
+    experiments — ['none'] (the default), a bare ratio shorthand, or
+    [mix:ratio=..,inserts=..,segment=..,threshold=..,major=..] merge
+    policy clauses (see {!Workload.Mutation.parse}). *)

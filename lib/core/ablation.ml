@@ -348,3 +348,91 @@ let slave_structure (spec : Spec.t) =
              string_of_int r.Run_result.cache.Cachesim.Hierarchy.seq_misses;
            ]);
   tbl
+
+(* Dynamic-index interference: how much does an interleaved update
+   stream cost each method?  Grid = update ratio x method x batch size,
+   every cell a full {!Dynamic} run over the log-structured Segments
+   index.  Unlike the other studies this also returns the per-cell
+   results, because `repro ablation updates` exports them (Run_result
+   columns + dyn.* update accounting) as the CSV the determinism and
+   smoke tests diff. *)
+let updates (spec : Spec.t) =
+  let sc = Spec.scenario spec in
+  let ratios =
+    (* --updates pins the study to that exact mutation spec (ratio and
+       merge policy); otherwise sweep a static baseline against a light
+       and a heavy update load under the default policy. *)
+    if Spec.dynamic spec then [ spec.Spec.updates ]
+    else
+      List.map
+        (fun ratio -> { Workload.Mutation.none with Workload.Mutation.ratio })
+        [ 0.0; 0.05; 0.2 ]
+  in
+  let methods =
+    if spec.Spec.methods <> Methods.all then spec.Spec.methods
+    else [ Methods.A; Methods.B; Methods.C3 ]
+  in
+  let batches =
+    (* One batch size unless --batches widens the sweep: the default
+       grid is already ratios x methods. *)
+    if spec.Spec.batches <> Workload.Scenario.fig3_batches then
+      spec.Spec.batches
+    else [ sc.Workload.Scenario.batch_bytes ]
+  in
+  let grid =
+    List.concat_map
+      (fun u ->
+        List.concat_map
+          (fun m -> List.map (fun b -> (u, m, b)) batches)
+          methods)
+      ratios
+  in
+  let results =
+    Exec.Sweep.run ~jobs:spec.Spec.jobs
+      (List.map
+         (fun ((u, method_id, batch) as key) ->
+           Exec.Job.make ~key (fun () ->
+               (* Thread Dynamic's private stats out around the
+                  instrumentation wrapper, which fixes the body's
+                  result type to Run_result.t alone. *)
+               let stats = ref None in
+               let r =
+                 Experiment.with_run_instrumented spec (fun () ->
+                     let r, st =
+                       Dynamic.run ~faults:spec.Spec.faults
+                         (Workload.Scenario.with_batch sc batch)
+                         ~updates:u ~method_id
+                     in
+                     stats := Some st;
+                     r)
+               in
+               (r, Option.get !stats)))
+         grid)
+  in
+  let tbl =
+    Report.Table.create
+      ~headers:
+        [
+          "Updates/query"; "Method"; "Batch"; "ns/key"; "applied"; "no-ops";
+          "lost"; "segments"; "delta";
+        ]
+  in
+  let rows =
+    List.map
+      (fun ((u, _, batch), (r, (st : Dynamic.stats))) ->
+        Report.Table.add_row tbl
+          [
+            Printf.sprintf "%g" u.Workload.Mutation.ratio;
+            Methods.to_string r.Run_result.method_id;
+            Printf.sprintf "%d KB" (batch / 1024);
+            Report.Table.cell_f r.Run_result.per_key_ns;
+            string_of_int st.Dynamic.applied;
+            string_of_int st.Dynamic.noops;
+            string_of_int st.Dynamic.lost_updates;
+            string_of_int st.Dynamic.segments;
+            string_of_int st.Dynamic.delta_entries;
+          ];
+        (u, r, st))
+      results
+  in
+  (tbl, rows)

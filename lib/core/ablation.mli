@@ -49,3 +49,16 @@ val structures : Experiment.Spec.t -> Report.Table.t
 val slave_structure : Experiment.Spec.t -> Report.Table.t
 (** C-1 vs C-2 vs C-3 head-to-head with per-variant cache statistics —
     the space-pressure explanation of §4.1. *)
+
+val updates :
+  Experiment.Spec.t ->
+  Report.Table.t
+  * (Workload.Mutation.t * Run_result.t * Dynamic.stats) list
+(** Update/query interference over the dynamic {!Index.Segments} index:
+    update ratio x method x batch size, each cell a {!Dynamic} run.
+    [--updates] pins the single mutation spec (ratio and merge policy);
+    otherwise ratios 0 / 0.05 / 0.2 under the default policy.
+    [--methods] narrows the method set (default A, B, C-3) and
+    [--batches] widens the batch axis (default: the scenario's batch).
+    Also returns the per-cell results in submission order for the
+    [repro ablation updates] CSV/metrics exports. *)

@@ -1,0 +1,681 @@
+open Simcore
+
+(* Dynamic-index method drivers (ROADMAP item 2): the batch drivers
+   re-run with a log-structured [Index.Segments] index and an
+   interleaved update/query stream from [Workload.Mutation].
+
+   - Methods A and B are replicated-index methods: one simulated node
+     processes the whole stream, applying every update to its local
+     delta index (and eating the cache dirtying), and the cluster
+     makespan normalizes only the query work by [n_nodes] — replicated
+     update work runs on every node, so it does not divide.
+   - Method C forwards each update to the owning slave's partition,
+     master-mediated exactly like query dispatch: updates are routed
+     through the delimiter table under phase ["update_forward"], ride
+     the per-slave staging buffers, and mutate that slave's in-cache
+     [Segments] partition on arrival.  Partition ownership is by the
+     static delimiters (forward-to-owner), so routing stays consistent
+     as keys come and go.
+
+   Validation is oracle-exact and never-silently-wrong: every returned
+   rank is checked against a [Ref_impl.Dyn] sorted-array oracle replayed
+   to the same point of the stream.  For Method C the per-slave oracle
+   advances at master staging time — with a single master and
+   non-overtaking channels, staging order equals slave processing
+   order, so enqueue-time expectations are exact.
+
+   Faulted dynamic runs support the crash / degrade / failover families
+   only.  Drop, dup and delay faults reorder or replay delivery, which
+   breaks the in-order update semantics (a replayed update batch would
+   mutate the index twice); slow nodes can outlive the retry timeout
+   and cause the same replay.  Fallback resolution is ignored: the
+   master's fallback index is a static snapshot that cannot answer
+   post-update queries, so a dead slave's batches are always accounted
+   lost — completeness accounting stays exact, answers never go
+   silently wrong. *)
+
+type stats = {
+  updates : int;  (** updates in the stream *)
+  applied : int;  (** effective state flips *)
+  noops : int;  (** charged no-op updates *)
+  lost_updates : int;  (** updates in crash-abandoned batches (C) *)
+  seals : int;
+  merges : int;
+  majors : int;
+  segments : int;  (** sealed segments live at end of run *)
+  delta_entries : int;  (** delta entries at end of run *)
+}
+
+let stats_header =
+  [
+    "dyn.updates"; "dyn.applied"; "dyn.noops"; "dyn.lost_updates"; "dyn.seals";
+    "dyn.merges"; "dyn.majors"; "dyn.segments"; "dyn.delta";
+  ]
+
+let stats_cells s =
+  List.map string_of_int
+    [
+      s.updates; s.applied; s.noops; s.lost_updates; s.seals; s.merges;
+      s.majors; s.segments; s.delta_entries;
+    ]
+
+let counters s =
+  List.map
+    (fun (k, v) -> (k, float_of_int v))
+    [
+      ("dyn_updates", s.updates); ("dyn_applied", s.applied);
+      ("dyn_noops", s.noops); ("dyn_lost_updates", s.lost_updates);
+      ("dyn_seals", s.seals); ("dyn_merges", s.merges);
+      ("dyn_majors", s.majors); ("dyn_segments", s.segments);
+      ("dyn_delta_entries", s.delta_entries);
+    ]
+
+(* Sum segment-level accounting over a run's delta indexes (one for
+   methods A/B, one per slave for method C). *)
+let collect ~updates ~lost_updates segs =
+  let sum f = List.fold_left (fun a sg -> a + f sg) 0 segs in
+  let st f = sum (fun sg -> f (Index.Segments.stats sg)) in
+  {
+    updates;
+    applied =
+      st (fun s -> s.Index.Segments.inserts + s.Index.Segments.deletes);
+    noops = st (fun s -> s.Index.Segments.noops);
+    lost_updates;
+    seals = st (fun s -> s.Index.Segments.seals);
+    merges = st (fun s -> s.Index.Segments.merges);
+    majors = st (fun s -> s.Index.Segments.majors);
+    segments = sum Index.Segments.segment_count;
+    delta_entries = sum Index.Segments.delta_entries;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Workload: the first two splits are exactly [Runner.workload]'s, so a
+   dynamic run indexes the same keys and answers the same queries as
+   the static baseline; the update stream is a new third split, so
+   zero-update static runs are bit-identical to before. *)
+
+let workload (sc : Workload.Scenario.t) ~updates =
+  let g = Prng.Splitmix.create sc.Workload.Scenario.seed in
+  let g_keys = Prng.Splitmix.split g in
+  let g_queries = Prng.Splitmix.split g in
+  let g_updates = Prng.Splitmix.split g in
+  let keys = Workload.Keygen.index_keys g_keys ~n:sc.Workload.Scenario.n_keys in
+  let queries =
+    Workload.Keygen.uniform_queries g_queries
+      ~n:sc.Workload.Scenario.n_queries
+  in
+  let ops =
+    Workload.Mutation.plan updates g_updates
+      ~n_queries:sc.Workload.Scenario.n_queries
+  in
+  (keys, queries, ops)
+
+(* ------------------------------------------------------------------ *)
+(* Shared single-node result assembly for the replicated methods.  The
+   cluster-time normalization splits the makespan: query work divides
+   over the cluster, update work is replicated on every node. *)
+
+let replicated_result (sc : Workload.Scenario.t) ~method_id ~eng ~m ~lat
+    ~errors ~update_ns ~stats ~n =
+  let raw = Engine.now eng in
+  let nodes = sc.Workload.Scenario.n_nodes in
+  let update_ns = Float.min update_ns raw in
+  let total = ((raw -. update_ns) /. float_of_int nodes) +. update_ns in
+  ( {
+      Run_result.method_id;
+      scenario = sc.Workload.Scenario.name;
+      n_queries = n;
+      n_nodes = nodes;
+      batch_bytes = sc.Workload.Scenario.batch_bytes;
+      total_ns = total;
+      raw_ns = raw;
+      per_key_ns = total /. float_of_int (max 1 n);
+      slave_idle = 0.0;
+      master_busy = 0.0;
+      messages = 0;
+      bytes_sent = 0;
+      validation_errors = errors;
+      cache = Cachesim.Hierarchy.stats (Machine.hierarchy m);
+      overflow_flushes = 0;
+      mean_response_ns = Latency.mean lat;
+      p95_response_ns = Latency.percentile lat 0.95;
+      metrics =
+        Telemetry.snapshot ~eng ~machines:[| m |] ~latency:lat
+          ~validation_errors:errors ~counters:(counters stats) ();
+      trace = None;
+      profile = None;
+      degraded = Run_result.no_degradation;
+      serving = None;
+      timeline = None;
+      scope = None;
+    },
+    stats )
+
+(* --- Method A: one lookup at a time, updates applied in stream order. *)
+let run_a (sc : Workload.Scenario.t) ~(updates : Workload.Mutation.t) ~keys
+    ~queries ~ops =
+  let eng = Engine.create () in
+  let m = Machine.create eng ~name:"worker" sc.Workload.Scenario.params in
+  let seg =
+    Index.Segments.create m ~policy:(Workload.Mutation.policy updates) keys
+  in
+  let oracle = Index.Ref_impl.Dyn.create keys in
+  let n = Array.length queries in
+  let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 n) in
+  let r_base = Machine.labelled_alloc m ~label:"results" (max 1 n) in
+  Machine.poke_array m q_base queries;
+  let lat = Latency.create () in
+  let errors = ref 0 in
+  let update_ns = ref 0.0 in
+  Machine.set_phase m "lookup";
+  Engine.spawn eng ~name:"worker" (fun () ->
+      Array.iteri
+        (fun i op ->
+          (match op with
+          | Workload.Mutation.Query qi ->
+              let before = Machine.busy_ns m in
+              let q = Machine.read m (q_base + qi) in
+              let rank = Index.Segments.search seg q in
+              Machine.write m (r_base + qi) rank;
+              if rank <> Index.Ref_impl.Dyn.rank oracle q then incr errors;
+              Latency.add lat (Machine.busy_ns m -. before)
+          | Workload.Mutation.Insert k ->
+              let before = Machine.busy_ns m in
+              if Index.Segments.insert seg k
+                 <> Index.Ref_impl.Dyn.insert oracle k
+              then incr errors;
+              update_ns := !update_ns +. (Machine.busy_ns m -. before)
+          | Workload.Mutation.Delete k ->
+              let before = Machine.busy_ns m in
+              if Index.Segments.delete seg k
+                 <> Index.Ref_impl.Dyn.delete oracle k
+              then incr errors;
+              update_ns := !update_ns +. (Machine.busy_ns m -. before));
+          if i land 8191 = 8191 then begin
+            Machine.sync m;
+            Machine.sample_residency m
+          end)
+        ops;
+      Machine.sync m;
+      Machine.sample_residency m);
+  Engine.run eng;
+  let stats =
+    collect
+      ~updates:(Workload.Mutation.n_updates updates ~n_queries:n)
+      ~lost_updates:0 [ seg ]
+  in
+  replicated_result sc ~method_id:Methods.A ~eng ~m ~lat ~errors:!errors
+    ~update_ns:!update_ns ~stats ~n
+
+(* --- Method B: queries buffer up to the batch size and drain in one
+   pass; updates apply immediately, dirtying the cache mid-batch.  The
+   drained answers reflect every update applied before the drain, and
+   the oracle is consulted at drain time, so validation stays exact. *)
+let run_b (sc : Workload.Scenario.t) ~(updates : Workload.Mutation.t) ~keys
+    ~queries ~ops =
+  let eng = Engine.create () in
+  let m = Machine.create eng ~name:"worker" sc.Workload.Scenario.params in
+  let seg =
+    Index.Segments.create m ~policy:(Workload.Mutation.policy updates) keys
+  in
+  let oracle = Index.Ref_impl.Dyn.create keys in
+  let n = Array.length queries in
+  let batch_keys = max 1 (Workload.Scenario.queries_per_batch sc) in
+  let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 n) in
+  let r_base = Machine.labelled_alloc m ~label:"results" (max 1 n) in
+  Machine.poke_array m q_base queries;
+  let lat = Latency.create () in
+  let errors = ref 0 in
+  let update_ns = ref 0.0 in
+  let buf = Array.make batch_keys 0 in
+  let blen = ref 0 in
+  Machine.set_phase m "lookup";
+  let drain () =
+    if !blen > 0 then begin
+      Machine.sync m;
+      let started = Engine.now eng in
+      for j = 0 to !blen - 1 do
+        let qi = buf.(j) in
+        let q = Machine.read m (q_base + qi) in
+        let rank = Index.Segments.search seg q in
+        Machine.write m (r_base + qi) rank;
+        if rank <> Index.Ref_impl.Dyn.rank oracle q then incr errors
+      done;
+      Machine.sync m;
+      Machine.sample_residency m;
+      Latency.add_many lat (Engine.now eng -. started) !blen;
+      blen := 0
+    end
+  in
+  Engine.spawn eng ~name:"worker" (fun () ->
+      Array.iter
+        (fun op ->
+          match op with
+          | Workload.Mutation.Query qi ->
+              buf.(!blen) <- qi;
+              incr blen;
+              if !blen = batch_keys then drain ()
+          | Workload.Mutation.Insert k ->
+              let before = Machine.busy_ns m in
+              if Index.Segments.insert seg k
+                 <> Index.Ref_impl.Dyn.insert oracle k
+              then incr errors;
+              update_ns := !update_ns +. (Machine.busy_ns m -. before)
+          | Workload.Mutation.Delete k ->
+              let before = Machine.busy_ns m in
+              if Index.Segments.delete seg k
+                 <> Index.Ref_impl.Dyn.delete oracle k
+              then incr errors;
+              update_ns := !update_ns +. (Machine.busy_ns m -. before))
+        ops;
+      drain ();
+      Machine.sync m);
+  Engine.run eng;
+  let stats =
+    collect
+      ~updates:(Workload.Mutation.n_updates updates ~n_queries:n)
+      ~lost_updates:0 [ seg ]
+  in
+  replicated_result sc ~method_id:Methods.B ~eng ~m ~lat ~errors:!errors
+    ~update_ns:!update_ns ~stats ~n
+
+(* ------------------------------------------------------------------ *)
+(* Method C: master-mediated update forwarding.  Ops are encoded one
+   word each — [tag * Key.sentinel + key] with tag 0 = query,
+   1 = insert, 2 = delete — so updates ride the query staging buffers
+   and batch transfers unchanged. *)
+
+let q_tag = 0
+let i_tag = 1
+let d_tag = 2
+let encode tag k = (tag * Index.Key.sentinel) + k
+
+let check_fault_support (spec : Fault.Spec.t) =
+  if spec.Fault.Spec.drop_p > 0.0 || spec.Fault.Spec.dup_p > 0.0
+     || spec.Fault.Spec.delay_p > 0.0
+  then
+    invalid_arg
+      "Dynamic: drop/dup/delay faults are unsupported (update streams \
+       require in-order, exactly-once delivery)";
+  if spec.Fault.Spec.slow <> [] then
+    invalid_arg
+      "Dynamic: slow-node faults are unsupported (a slow slave can outlive \
+       the retry timeout and replay update batches)"
+
+let run_c ?faults (sc : Workload.Scenario.t)
+    ~(updates : Workload.Mutation.t) ~variant ~keys ~queries ~ops =
+  let params = sc.Workload.Scenario.params in
+  let net_profile = sc.Workload.Scenario.net in
+  let n_nodes = sc.Workload.Scenario.n_nodes in
+  if sc.Workload.Scenario.n_masters <> 1 then
+    invalid_arg
+      "Dynamic: method C requires a single master (per-slave update order \
+       is defined by one staging stream)";
+  if n_nodes < 2 then invalid_arg "Dynamic: need a master and a slave";
+  let n_slaves = n_nodes - 1 in
+  let n = Array.length queries in
+  let n_ops = Array.length ops in
+  let batch_keys = max 1 (Workload.Scenario.queries_per_batch sc) in
+  let eng = Engine.create () in
+  let plan =
+    match faults with
+    | Some spec when not (Fault.Spec.is_none spec) ->
+        check_fault_support spec;
+        Some (Fault.Plan.create spec ~seed:sc.Workload.Scenario.seed)
+    | _ -> None
+  in
+  let net = Netsim.Network.create ?faults:plan eng net_profile ~nodes:n_nodes in
+  let part = Partition.make ~keys ~parts:n_slaves in
+  let word = params.Cachesim.Mem_params.word_bytes in
+  let overhead = net_profile.Netsim.Profile.host_overhead_ns in
+  let master = Machine.create eng ~name:"master" params in
+  let slaves =
+    Array.init n_slaves (fun s ->
+        Machine.create eng ~name:(Printf.sprintf "slave%d" s) params)
+  in
+  let slave_seg =
+    Array.init n_slaves (fun s ->
+        Index.Segments.create slaves.(s)
+          ~policy:(Workload.Mutation.policy updates)
+          (Partition.slice part s))
+  in
+  (* Per-slave oracle, advanced at master staging time: one master and
+     non-overtaking channels make staging order = processing order. *)
+  let oracles =
+    Array.init n_slaves (fun s ->
+        Index.Ref_impl.Dyn.create (Partition.slice part s))
+  in
+  let expected = Array.make (max 1 n) (-1) in
+  let errors = ref 0 in
+  let lat = Latency.create () in
+  let read_at = Array.make (max 1 n) 0.0 in
+  let next_batch_id = ref 0 in
+  let in_flight : (int, Failover.pending) Hashtbl.t = Hashtbl.create 256 in
+  (* Updates per in-flight batch, for lost-update accounting. *)
+  let batch_updates : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let lost_updates = ref 0 in
+  let fo =
+    match plan with
+    | None -> None
+    | Some p ->
+        let timeout_default =
+          8.0
+          *. (net_profile.Netsim.Profile.latency_ns
+             +. Netsim.Profile.transfer_ns net_profile
+                  sc.Workload.Scenario.batch_bytes
+             +. net_profile.Netsim.Profile.host_overhead_ns)
+        in
+        Some (Failover.create p ~timeout_default ~nodes:n_nodes)
+  in
+  (* --- Master: route the op stream through the delimiter table into
+     per-slave staging buffers; queries under "dispatch", updates under
+     "update_forward". *)
+  let spawn_master () =
+    let m = master in
+    let delims_lo = Machine.words_allocated m in
+    let delims = Index.Sorted_array.build m (Partition.delimiters part) in
+    Machine.label_region m ~label:"partition" ~base:delims_lo
+      ~words:(Machine.words_allocated m - delims_lo);
+    let o_base = Machine.labelled_alloc m ~label:"queries" (max 1 n_ops) in
+    Machine.poke_array m o_base
+      (Array.map
+         (function
+           | Workload.Mutation.Query qi -> encode q_tag queries.(qi)
+           | Workload.Mutation.Insert k -> encode i_tag k
+           | Workload.Mutation.Delete k -> encode d_tag k)
+         ops);
+    let out_bufs =
+      Array.init n_slaves (fun _ ->
+          Machine.labelled_alloc m ~label:"mpi_staging" batch_keys)
+    in
+    let out_lens = Array.make n_slaves 0 in
+    let out_qids = Array.init n_slaves (fun _ -> Array.make batch_keys 0) in
+    let out_qlens = Array.make n_slaves 0 in
+    let out_upds = Array.make n_slaves 0 in
+    let flush s =
+      let len = out_lens.(s) in
+      if len > 0 then begin
+        Machine.sync m;
+        Machine.set_phase m "batch_xfer";
+        Machine.compute m overhead;
+        Machine.sync m;
+        let payload =
+          Array.init len (fun j -> Machine.peek m (out_bufs.(s) + j))
+        in
+        let id = !next_batch_id in
+        incr next_batch_id;
+        Hashtbl.add in_flight id
+          (Failover.make_pending
+             ~qids:(Array.sub out_qids.(s) 0 out_qlens.(s))
+             ~payload ~dst:(1 + s) ~home:0 ~now:(Engine.now eng));
+        Hashtbl.replace batch_updates id out_upds.(s);
+        Netsim.Network.isend net ~src:0 ~dst:(1 + s) ~tag:Proto.data_tag
+          ~phase:"batch_xfer" ~size:(len * word)
+          (Proto.Data (id, payload));
+        Machine.set_phase m "dispatch";
+        out_lens.(s) <- 0;
+        out_qlens.(s) <- 0;
+        out_upds.(s) <- 0
+      end
+    in
+    let cap = max 1 (batch_keys / n_slaves) in
+    let stage s w =
+      Machine.write m (out_bufs.(s) + out_lens.(s)) w;
+      out_lens.(s) <- out_lens.(s) + 1;
+      if out_lens.(s) = cap then flush s
+    in
+    Machine.set_phase m "dispatch";
+    Engine.spawn eng ~name:"master" (fun () ->
+        Array.iteri
+          (fun i op ->
+            let w = Machine.read m (o_base + i) in
+            let k = w mod Index.Key.sentinel in
+            (match op with
+            | Workload.Mutation.Query qi ->
+                read_at.(qi) <- Engine.now eng +. Machine.pending_ns m;
+                let s = Index.Sorted_array.search delims k in
+                expected.(qi) <- Index.Ref_impl.Dyn.rank oracles.(s) k;
+                out_qids.(s).(out_qlens.(s)) <- qi;
+                out_qlens.(s) <- out_qlens.(s) + 1;
+                stage s w
+            | Workload.Mutation.Insert _ ->
+                Machine.set_phase m "update_forward";
+                let s = Index.Sorted_array.search delims k in
+                ignore (Index.Ref_impl.Dyn.insert oracles.(s) k);
+                out_upds.(s) <- out_upds.(s) + 1;
+                stage s w;
+                Machine.set_phase m "dispatch"
+            | Workload.Mutation.Delete _ ->
+                Machine.set_phase m "update_forward";
+                let s = Index.Sorted_array.search delims k in
+                ignore (Index.Ref_impl.Dyn.delete oracles.(s) k);
+                out_upds.(s) <- out_upds.(s) + 1;
+                stage s w;
+                Machine.set_phase m "dispatch");
+            if i land 8191 = 8191 then begin
+              Machine.sync m;
+              Machine.sample_residency m
+            end)
+          ops;
+        for s = 0 to n_slaves - 1 do
+          flush s
+        done;
+        Machine.sync m;
+        Machine.sample_residency m;
+        for s = 0 to n_slaves - 1 do
+          Netsim.Network.isend net ~src:0 ~dst:(1 + s) ~tag:Proto.term_tag
+            ~phase:"control" ~size:0 Proto.Term
+        done;
+        (* Tell the target dispatch is over: the stream may end in
+           update-only batches (zero replies pending against the query
+           quota), so the target must keep draining [in_flight] until
+           this marker plus every outstanding batch has resolved. *)
+        Netsim.Network.isend net ~src:0 ~dst:0 ~tag:Proto.term_tag
+          ~phase:"control" ~size:0 Proto.Term)
+  in
+  spawn_master ();
+  (* --- Slaves: decode each batch word; queries probe the dynamic
+     partition, updates mutate it in arrival order.  Replies carry the
+     partition-local ranks of the batch's queries, in batch order. *)
+  for s = 0 to n_slaves - 1 do
+    let node = 1 + s in
+    let m = slaves.(s) in
+    let seg = slave_seg.(s) in
+    let rx =
+      [|
+        Machine.labelled_alloc m ~label:"mpi_staging" batch_keys;
+        Machine.labelled_alloc m ~label:"mpi_staging" batch_keys;
+      |]
+    in
+    let reply = Machine.labelled_alloc m ~label:"mpi_staging" batch_keys in
+    Engine.spawn eng ~name:(Printf.sprintf "slave@%d" node) (fun () ->
+        let terms = ref 0 in
+        let rx_sel = ref 0 in
+        while !terms < 1 do
+          let env = Netsim.Network.recv net ~dst:node in
+          let crashed =
+            match plan with
+            | Some p -> Fault.Plan.crashed p ~node ~now:(Engine.now eng)
+            | None -> false
+          in
+          match env.Netsim.Network.payload with
+          | _ when crashed -> terms := 1
+          | Proto.Term -> incr terms
+          | Proto.Reply _ -> failwith "slave received a reply"
+          | Proto.Data (id, ws) ->
+              Machine.set_phase m "batch_xfer";
+              Machine.compute m overhead;
+              let cnt = Array.length ws in
+              let buf = rx.(!rx_sel) in
+              Machine.dma_write m buf ws;
+              Machine.set_phase m "lookup";
+              let rlen = ref 0 in
+              for j = 0 to cnt - 1 do
+                let w = Machine.read m (buf + j) in
+                let tag = w / Index.Key.sentinel in
+                let k = w mod Index.Key.sentinel in
+                if tag = q_tag then begin
+                  Machine.write m (reply + !rlen) (Index.Segments.search seg k);
+                  incr rlen
+                end
+                else if tag = i_tag then ignore (Index.Segments.insert seg k)
+                else ignore (Index.Segments.delete seg k)
+              done;
+              Machine.set_phase m "batch_xfer";
+              Machine.compute m overhead;
+              Machine.sync m;
+              Machine.sample_residency m;
+              let ranks =
+                Array.init !rlen (fun j -> Machine.peek m (reply + j))
+              in
+              Netsim.Network.isend net ~src:node
+                ~dst:env.Netsim.Network.src ~tag:Proto.reply_tag
+                ~phase:"reply" ~size:(!rlen * word)
+                (Proto.Reply (id, ranks));
+              rx_sel := 1 - !rx_sel
+        done)
+  done;
+  (* Replies carry partition-local ranks validated against the
+     enqueue-time oracle expectations — exact, never silently wrong. *)
+  let record_reply ~qids ~ranks =
+    if Array.length qids <> Array.length ranks then incr errors
+    else
+      Array.iteri
+        (fun j rank ->
+          if rank <> expected.(qids.(j)) then incr errors;
+          Latency.add lat (Engine.now eng -. read_at.(qids.(j))))
+        ranks
+  in
+  (* --- Target: collect replies; a batch resolves when its reply lands
+     or (degraded runs) when failover abandons it.  Update-only batches
+     carry zero queries but still resolve, so the loop drains
+     [in_flight], not just the query quota. *)
+  (match fo with
+  | None ->
+      Engine.spawn eng ~name:"target" (fun () ->
+          let dispatch_done = ref false in
+          while (not !dispatch_done) || Hashtbl.length in_flight > 0 do
+            let env = Netsim.Network.recv net ~dst:0 in
+            match env.Netsim.Network.payload with
+            | Proto.Term -> dispatch_done := true
+            | Proto.Reply (id, ranks) -> (
+                match Hashtbl.find_opt in_flight id with
+                | None -> incr errors
+                | Some p ->
+                    Hashtbl.remove in_flight id;
+                    record_reply ~qids:p.Failover.qids ~ranks)
+            | Proto.Data _ -> failwith "target received a data batch"
+          done)
+  | Some fo ->
+      let resend id (p : Failover.pending) =
+        Netsim.Network.isend net ~src:p.Failover.home ~dst:p.Failover.dst
+          ~tag:Proto.data_tag ~phase:"retry"
+          ~size:(Array.length p.Failover.payload * word)
+          (Proto.Data (id, p.Failover.payload))
+      in
+      (* The destination is dead.  No fallback under updates (the
+         master's snapshot is stale): account the batch lost — its
+         queries to [degraded], its updates to [lost_updates]. *)
+      let redispatch id (p : Failover.pending) =
+        let len = Array.length p.Failover.qids in
+        Failover.note_lost fo ~queries:len;
+        lost_updates :=
+          !lost_updates
+          + Option.value ~default:0 (Hashtbl.find_opt batch_updates id)
+      in
+      Engine.spawn eng ~name:"target" (fun () ->
+          let dispatch_done = ref false in
+          while (not !dispatch_done) || Hashtbl.length in_flight > 0 do
+            (match
+               Netsim.Network.recv_timeout net ~dst:0
+                 ~timeout_ns:(Failover.timeout_ns fo)
+             with
+            | Some env -> (
+                match env.Netsim.Network.payload with
+                | Proto.Term -> dispatch_done := true
+                | Proto.Reply (id, ranks) -> (
+                    match Hashtbl.find_opt in_flight id with
+                    | None -> ()
+                    | Some p ->
+                        Hashtbl.remove in_flight id;
+                        record_reply ~qids:p.Failover.qids ~ranks)
+                | Proto.Data _ -> failwith "target received a data batch")
+            | None -> ());
+            Failover.sweep fo ~now:(Engine.now eng) ~in_flight ~resend
+              ~redispatch
+          done;
+          Failover.note_finish fo ~now:(Engine.now eng)));
+  Engine.run eng;
+  let raw =
+    match fo with
+    | None -> Engine.now eng
+    | Some f ->
+        let fa = Failover.finish_at f in
+        if fa > 0.0 then fa else Engine.now eng
+  in
+  if Hashtbl.length in_flight <> 0 then incr errors;
+  let idle_sum = ref 0.0 in
+  Array.iter
+    (fun m -> idle_sum := !idle_sum +. (1.0 -. (Machine.busy_ns m /. raw)))
+    slaves;
+  let degraded =
+    match fo with
+    | None -> Run_result.no_degradation
+    | Some f -> Failover.degraded f
+  in
+  let stats =
+    collect
+      ~updates:(Workload.Mutation.n_updates updates ~n_queries:n)
+      ~lost_updates:!lost_updates
+      (Array.to_list slave_seg)
+  in
+  let sum_stats ms =
+    Array.fold_left
+      (fun acc m ->
+        Cachesim.Hierarchy.add_stats acc
+          (Cachesim.Hierarchy.stats (Machine.hierarchy m)))
+      Cachesim.Hierarchy.zero_stats ms
+  in
+  ( {
+      Run_result.method_id = variant;
+      scenario = sc.Workload.Scenario.name;
+      n_queries = n;
+      n_nodes;
+      batch_bytes = sc.Workload.Scenario.batch_bytes;
+      total_ns = raw;
+      raw_ns = raw;
+      per_key_ns = raw /. float_of_int (max 1 n);
+      slave_idle = !idle_sum /. float_of_int n_slaves;
+      master_busy = Machine.busy_ns master /. raw;
+      messages = Netsim.Network.messages_sent net;
+      bytes_sent = Netsim.Network.bytes_sent net;
+      validation_errors = !errors;
+      cache =
+        Cachesim.Hierarchy.add_stats (sum_stats [| master |])
+          (sum_stats slaves);
+      overflow_flushes = 0;
+      mean_response_ns = Latency.mean lat;
+      p95_response_ns = Latency.percentile lat 0.95;
+      metrics =
+        Telemetry.snapshot ~eng ~net ~machines:(Array.append [| master |] slaves)
+          ~latency:lat ~validation_errors:!errors ~counters:(counters stats)
+          ?degraded:(match fo with None -> None | Some _ -> Some degraded)
+          ();
+      trace = None;
+      profile = None;
+      degraded;
+      serving = None;
+      timeline = None;
+      scope = None;
+    },
+    stats )
+
+(* ------------------------------------------------------------------ *)
+
+let run ?faults (sc : Workload.Scenario.t) ~updates ~method_id =
+  let keys, queries, ops = workload sc ~updates in
+  match (method_id : Methods.id) with
+  | Methods.A -> run_a sc ~updates ~keys ~queries ~ops
+  | Methods.B -> run_b sc ~updates ~keys ~queries ~ops
+  | Methods.C1 | Methods.C2 | Methods.C3 ->
+      run_c ?faults sc ~updates ~variant:method_id ~keys ~queries ~ops

@@ -18,6 +18,7 @@ module Spec = struct
     timeline : string option;
     timeline_window_ns : float option;
     cache_scope : string option;
+    updates : Workload.Mutation.t;
   }
 
   let default =
@@ -38,6 +39,7 @@ module Spec = struct
       timeline = None;
       timeline_window_ns = None;
       cache_scope = None;
+      updates = Workload.Mutation.none;
     }
 
   let with_scenario scenario t = { t with scenario }
@@ -65,10 +67,12 @@ module Spec = struct
     { t with timeline_window_ns = Some window_ns }
 
   let with_cache_scope base t = { t with cache_scope = Some base }
+  let with_updates updates t = { t with updates }
   let timelining t = t.timeline <> None
   let cache_scoping t = t.cache_scope <> None
   let profiling t = t.profile || t.profile_folded <> None
   let faulted t = not (Fault.Spec.is_none t.faults)
+  let dynamic t = not (Workload.Mutation.is_none t.updates)
 
   let scenario t =
     match t.seed_override with

@@ -74,6 +74,10 @@ module Spec : sig
             [None] (the default) takes the pre-scope code paths: no
             shadow structures are allocated and per-access hooks reduce
             to one [None] check. *)
+    updates : Workload.Mutation.t;
+        (** Update-stream spec for the dynamic-index runs (the
+            [--updates] flag).  {!Workload.Mutation.none} (the default)
+            keeps every driver on the static code paths. *)
   }
 
   val default : t
@@ -104,6 +108,7 @@ module Spec : sig
   (** Must be positive. *)
 
   val with_cache_scope : string -> t -> t
+  val with_updates : Workload.Mutation.t -> t -> t
 
   val timelining : t -> bool
   (** A timeline destination is set — {!Serve} runs record windows. *)
@@ -115,6 +120,9 @@ module Spec : sig
   val faulted : t -> bool
   (** A non-[none] fault spec is set — degraded-run columns and manifest
       fields apply. *)
+
+  val dynamic : t -> bool
+  (** A non-[none] update spec is set — drivers run the dynamic index. *)
 
   val profiling : t -> bool
   (** [profile] set or a folded output path given — either implies runs

@@ -16,12 +16,16 @@ let effective (sc : Workload.Scenario.t) arrival =
   | Some qps -> Workload.Arrival.scale_to arrival ~offered_qps:qps
   | None -> arrival
 
-let generate_workload (sc : Workload.Scenario.t) arrival =
+let generate_workload ?(updates = Workload.Mutation.none)
+    (sc : Workload.Scenario.t) arrival =
   let g = Prng.Splitmix.create sc.Workload.Scenario.seed in
   let g_keys = Prng.Splitmix.split g in
   let _g_batch_queries = Prng.Splitmix.split g in
   let g_arrivals = Prng.Splitmix.split g in
   let g_queries = Prng.Splitmix.split g in
+  (* Update stream: a dedicated fifth split, drawn after every existing
+     one, so dynamic serving never perturbs the static streams. *)
+  let g_updates = Prng.Splitmix.split g in
   let keys = Workload.Keygen.index_keys g_keys ~n:sc.Workload.Scenario.n_keys in
   let arrivals =
     Workload.Arrival.generate arrival
@@ -32,9 +36,16 @@ let generate_workload (sc : Workload.Scenario.t) arrival =
   let queries =
     Workload.Keygen.uniform_queries g_queries ~n:(Array.length arrivals)
   in
-  (keys, queries, arrivals)
+  let ops =
+    if Workload.Mutation.is_none updates then [||]
+    else
+      Workload.Mutation.plan updates g_updates
+        ~n_queries:(Array.length arrivals)
+  in
+  (keys, queries, arrivals, ops)
 
-let workload sc ~arrival = generate_workload sc (effective sc arrival)
+let workload ?updates sc ~arrival =
+  generate_workload ?updates sc (effective sc arrival)
 
 (* Deal arrivals round-robin over [parts] engines: part [p] serves
    global indices [p, p+parts, ...], which interleaves every part
@@ -251,13 +262,73 @@ let mean_idle machines ~raw =
    node fall visibly behind: accumulated lookup cost pushes the clock
    past the next admission time and the gap is queueing delay. *)
 
-let serve_a (sc : Workload.Scenario.t) ~jobs ~keys ~queries ~arrivals
+let serve_a ?(updates = Workload.Mutation.none) ?(ops = [||])
+    (sc : Workload.Scenario.t) ~jobs ~keys ~queries ~arrivals
     ~start_at ~done_at ~finish =
   let params = sc.Workload.Scenario.params in
   let n_nodes = sc.Workload.Scenario.n_nodes in
   let n = Array.length arrivals in
   let assign = round_robin n n_nodes in
   let prof = Obs.Profile.current () in
+  (* Dynamic serving epoch: the replica is a log-structured [Segments]
+     index and every node walks the full op stream — updates are
+     replicated work (each node applies all of them, interleaved in
+     stream order), queries are served only by their round-robin owner.
+     Update cost lands on the node clock, so a burst of mutations
+     visibly delays the queries queued behind it.  Answers are checked
+     online against a [Ref_impl.Dyn] oracle advanced to the same stream
+     point (the index moves, so a post-run peek cannot validate). *)
+  let sim_dyn node =
+    let my = assign.(node) in
+    let eng = Engine.create () in
+    let m = Machine.create eng ~name:(Printf.sprintf "node%d" node) params in
+    let seg =
+      Index.Segments.create m ~policy:(Workload.Mutation.policy updates) keys
+    in
+    let dyn = Index.Ref_impl.Dyn.create keys in
+    let lat = Latency.create () in
+    let cnt = Array.length my in
+    let q_base = Machine.labelled_alloc m ~label:"queries" (max 1 cnt) in
+    let r_base = Machine.labelled_alloc m ~label:"results" (max 1 cnt) in
+    Machine.poke_array m q_base (Array.map (fun qid -> queries.(qid)) my);
+    let errors = ref 0 in
+    Machine.set_phase m "serve";
+    Engine.spawn eng ~name:(Printf.sprintf "node%d" node) (fun () ->
+        Array.iter
+          (fun op ->
+            match (op : Workload.Mutation.op) with
+            | Workload.Mutation.Insert k ->
+                if Index.Segments.insert seg k
+                   <> Index.Ref_impl.Dyn.insert dyn k
+                then incr errors
+            | Workload.Mutation.Delete k ->
+                if Index.Segments.delete seg k
+                   <> Index.Ref_impl.Dyn.delete dyn k
+                then incr errors
+            | Workload.Mutation.Query qid when qid mod n_nodes = node ->
+                let j = qid / n_nodes in
+                Machine.sync m;
+                let t = arrivals.(qid) in
+                let now = Engine.now eng in
+                if now < t then Engine.delay eng (t -. now);
+                start_at.(qid) <- Engine.now eng;
+                let q = Machine.read m (q_base + j) in
+                let rank = Index.Segments.search seg q in
+                if rank <> Index.Ref_impl.Dyn.rank dyn q then incr errors;
+                Machine.write m (r_base + j) rank;
+                Machine.sync m;
+                let fin = Engine.now eng in
+                done_at.(qid) <- fin;
+                note_tail ~prof ~qid ~batch:1 ~arrived:t
+                  ~started:start_at.(qid) ~finished:fin;
+                Latency.add lat (fin -. t);
+                if qid land 63 = 0 then Machine.sample_residency m
+            | Workload.Mutation.Query _ -> ())
+          ops);
+    Engine.run eng;
+    { ep_eng = eng; ep_machine = m; ep_lat = lat; ep_errors = !errors;
+      ep_flushes = 0 }
+  in
   let sim node =
     let my = assign.(node) in
     let eng = Engine.create () in
@@ -301,7 +372,9 @@ let serve_a (sc : Workload.Scenario.t) ~jobs ~keys ~queries ~arrivals
     { ep_eng = eng; ep_machine = m; ep_lat = lat; ep_errors = !errors;
       ep_flushes = 0 }
   in
-  let epochs = run_epochs ~jobs n_nodes sim in
+  let epochs =
+    run_epochs ~jobs n_nodes (if Array.length ops = 0 then sim else sim_dyn)
+  in
   let machines = Array.map (fun e -> e.ep_machine) epochs in
   let lat, errors, raw = merge_epochs epochs in
   {
@@ -810,8 +883,8 @@ let serve_c ?faults ?series (sc : Workload.Scenario.t) ~variant ~keys ~queries
 (* ------------------------------------------------------------------ *)
 
 let run_method ?faults ?(timeline = false) ?timeline_window_ns ?(jobs = 1)
-    (sc : Workload.Scenario.t) ~arrival ~slo_ns ~method_id ~keys ~queries
-    ~arrivals =
+    ?updates ?(ops = [||]) (sc : Workload.Scenario.t) ~arrival ~slo_ns
+    ~method_id ~keys ~queries ~arrivals =
   let n = Array.length arrivals in
   let start_at = Array.make (max 1 n) 0.0 in
   let done_at = Array.make (max 1 n) (-1.0) in
@@ -830,10 +903,19 @@ let run_method ?faults ?(timeline = false) ?timeline_window_ns ?(jobs = 1)
   let drive () =
     match (method_id : Methods.id) with
     | Methods.A ->
-        serve_a sc ~jobs ~keys ~queries ~arrivals ~start_at ~done_at ~finish
+        serve_a ?updates ~ops sc ~jobs ~keys ~queries ~arrivals ~start_at
+          ~done_at ~finish
     | Methods.B ->
+        if Array.length ops > 0 then
+          invalid_arg
+            "Serve: --updates is supported for method A only (use `repro \
+             ablation updates` for the batch methods)";
         serve_b sc ~jobs ~keys ~queries ~arrivals ~start_at ~done_at ~finish
     | Methods.C1 | Methods.C2 | Methods.C3 ->
+        if Array.length ops > 0 then
+          invalid_arg
+            "Serve: --updates is supported for method A only (use `repro \
+             ablation updates` for the batch methods)";
         serve_c ?faults ?series sc ~variant:method_id ~keys ~queries ~arrivals
           ~start_at ~done_at ~finish
   in
@@ -899,13 +981,14 @@ let run_method ?faults ?(timeline = false) ?timeline_window_ns ?(jobs = 1)
    profile, timeline) installed — the body every job of [run] and
    [load_sweep] executes. *)
 let run_method_spec (spec : Experiment.Spec.t) sc ~arrival ~method_id ~keys
-    ~queries ~arrivals =
+    ~queries ~arrivals ~ops =
   let run =
     Experiment.with_run_instrumented spec (fun () ->
         (run_method ~faults:spec.Experiment.Spec.faults
            ~timeline:(Experiment.Spec.timelining spec)
            ?timeline_window_ns:spec.Experiment.Spec.timeline_window_ns
-           ~jobs:spec.Experiment.Spec.jobs sc
+           ~jobs:spec.Experiment.Spec.jobs
+           ~updates:spec.Experiment.Spec.updates ~ops sc
            ~arrival ~slo_ns:spec.Experiment.Spec.slo_ns ~method_id ~keys
            ~queries ~arrivals)
           .run)
@@ -917,14 +1000,16 @@ let run_method_spec (spec : Experiment.Spec.t) sc ~arrival ~method_id ~keys
 let run (spec : Experiment.Spec.t) =
   let sc = Experiment.Spec.scenario spec in
   let arrival = effective sc spec.Experiment.Spec.arrival in
-  let keys, queries, arrivals = generate_workload sc arrival in
+  let keys, queries, arrivals, ops =
+    generate_workload ~updates:spec.Experiment.Spec.updates sc arrival
+  in
   List.map snd
     (Exec.Sweep.run ~jobs:spec.Experiment.Spec.jobs
        (List.map
           (fun method_id ->
             Exec.Job.make ~key:method_id (fun () ->
                 run_method_spec spec sc ~arrival ~method_id ~keys ~queries
-                  ~arrivals))
+                  ~arrivals ~ops))
           spec.Experiment.Spec.methods))
 
 let load_sweep (spec : Experiment.Spec.t) ~loads =
@@ -937,8 +1022,10 @@ let load_sweep (spec : Experiment.Spec.t) ~loads =
       (fun qps ->
         let sc = Workload.Scenario.with_offered_load qps sc0 in
         let arrival = effective sc spec.Experiment.Spec.arrival in
-        let keys, queries, arrivals = generate_workload sc arrival in
-        (sc, arrival, keys, queries, arrivals))
+        let keys, queries, arrivals, ops =
+          generate_workload ~updates:spec.Experiment.Spec.updates sc arrival
+        in
+        (sc, arrival, keys, queries, arrivals, ops))
       loads
   in
   let grid =
@@ -950,10 +1037,10 @@ let load_sweep (spec : Experiment.Spec.t) ~loads =
   List.map snd
     (Exec.Sweep.run ~jobs:spec.Experiment.Spec.jobs
        (List.mapi
-          (fun i ((sc, arrival, keys, queries, arrivals), method_id) ->
+          (fun i ((sc, arrival, keys, queries, arrivals, ops), method_id) ->
             Exec.Job.make ~key:i (fun () ->
                 run_method_spec spec sc ~arrival ~method_id ~keys ~queries
-                  ~arrivals))
+                  ~arrivals ~ops))
           grid))
 
 let render ~(scenario : Workload.Scenario.t) reports =

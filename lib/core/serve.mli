@@ -29,22 +29,28 @@ type report = {
 }
 
 val workload :
+  ?updates:Workload.Mutation.t ->
   Workload.Scenario.t ->
   arrival:Workload.Arrival.t ->
-  int array * int array * float array
-(** [(keys, queries, arrivals)] for a serving run: the scenario's index
-    keys (identical to {!Runner.workload}'s), one uniform query key per
-    arrival, and the sorted admission timestamps from the arrival spec
-    (rescaled by the scenario's offered-load override, generated over
-    its client populations and horizon).  Drawn from independent
-    splits of the scenario seed, so serving runs never perturb the
-    batch drivers' streams. *)
+  int array * int array * float array * Workload.Mutation.op array
+(** [(keys, queries, arrivals, ops)] for a serving run: the scenario's
+    index keys (identical to {!Runner.workload}'s), one uniform query
+    key per arrival, the sorted admission timestamps from the arrival
+    spec (rescaled by the scenario's offered-load override, generated
+    over its client populations and horizon), and the interleaved
+    update/query op stream ([[||]] when [?updates] is absent or
+    [none]).  Drawn from independent splits of the scenario seed — the
+    update stream from a dedicated split after every existing one — so
+    serving runs never perturb the batch drivers' streams and dynamic
+    serving never perturbs static serving. *)
 
 val run_method :
   ?faults:Fault.Spec.t ->
   ?timeline:bool ->
   ?timeline_window_ns:float ->
   ?jobs:int ->
+  ?updates:Workload.Mutation.t ->
+  ?ops:Workload.Mutation.op array ->
   Workload.Scenario.t ->
   arrival:Workload.Arrival.t ->
   slo_ns:float ->
@@ -63,6 +69,15 @@ val run_method :
     readings plus fault events pinned to their window.
     [timeline_window_ns] also moves the cold/warm split of the serving
     rollup (always at four windows), with or without [timeline].
+
+    [?ops] (with the [?updates] spec that generated it) switches
+    method A to dynamic serving over a log-structured {!Index.Segments}
+    replica: every node applies every update in stream order (updates
+    are replicated work) and serves its own round-robin share of the
+    queries, with answers checked online against a replayed
+    {!Index.Ref_impl.Dyn} oracle.  Methods B and the C family reject a
+    non-empty op stream with [Invalid_argument] — their dynamic
+    behaviour lives in the batch {!Dynamic} drivers.
 
     [jobs] (default 1) runs Methods A and B's independent node epochs
     on that many worker domains; outputs are byte-identical at any

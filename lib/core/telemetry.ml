@@ -3,7 +3,7 @@
    across Methods A..C-3 and the hierarchical variant. *)
 
 let snapshot ~eng ?(more_engines = []) ?net ~machines ~latency
-    ~validation_errors ?degraded () =
+    ~validation_errors ?(counters = []) ?degraded () =
   let reg = Obs.Metrics.create () in
   Simcore.Engine.record_metrics eng reg;
   (* Parallel serving runs drive one engine per node: their counters sum
@@ -16,6 +16,10 @@ let snapshot ~eng ?(more_engines = []) ?net ~machines ~latency
   | None -> ());
   Obs.Metrics.observe_hist reg "response_ns" (Latency.histogram latency);
   Obs.Metrics.incr reg "validation_errors" validation_errors;
+  (* Driver-private counters (the dynamic-index drivers' update/segment
+     accounting).  Static runs pass none, so their snapshots are
+     unchanged. *)
+  List.iter (fun (k, v) -> Obs.Metrics.incr_f reg k v) counters;
   (* Failover counters appear only for fault-injected runs, so
      fault-free metrics files stay byte-identical.  (The network's
      injection counters are emitted by Network.record_metrics above,

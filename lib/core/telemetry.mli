@@ -21,15 +21,19 @@ val snapshot :
   machines:Machine.t array ->
   latency:Latency.t ->
   validation_errors:int ->
+  ?counters:(string * float) list ->
   ?degraded:Run_result.degraded ->
   unit ->
   Obs.Metrics.Snapshot.t
 (** Harvest one finished simulation into a registry snapshot: engine
     counters, every machine's [node_*]/[mem_*]/[cache_*] series, the
     network's [net_*] series (when present), the [response_ns] histogram
-    and the [validation_errors] counter.  [?degraded] (fault-injected
-    runs only) adds the [failover_*] counters; omitting it keeps the
-    snapshot identical to a build without fault support. *)
+    and the [validation_errors] counter.  [?counters] lets a driver add
+    private named counters (the dynamic drivers' [dyn_*] update
+    accounting); the empty default leaves the snapshot untouched.
+    [?degraded] (fault-injected runs only) adds the [failover_*]
+    counters; omitting it keeps the snapshot identical to a build
+    without fault support. *)
 
 val run_label : Run_result.t -> string
 (** Stable label identifying a run inside a metrics/trace file:

@@ -118,7 +118,7 @@ let fig3_cells ~repeats ~batches ~methods =
 
 let serve_cells ~repeats ~duration_ns ~methods =
   let sc = Workload.Scenario.with_duration duration_ns (serve_scenario ()) in
-  let keys, queries, arrivals = Serve.workload sc ~arrival:serve_arrival in
+  let keys, queries, arrivals, _ops = Serve.workload sc ~arrival:serve_arrival in
   List.map
     (fun method_id ->
       let key =
@@ -131,6 +131,26 @@ let serve_cells ~repeats ~duration_ns ~methods =
               ~method_id ~keys ~queries ~arrivals
           in
           run))
+    methods
+
+(* Mixed update/query stream over the dynamic Segments index: times the
+   log-structured probe/seal/merge path the static families never
+   touch.  New keys extend the trajectory; [advisory] only compares
+   cells with equal keys, so older BENCH_*.json entries stay valid. *)
+let dynamic_updates =
+  { Workload.Mutation.none with Workload.Mutation.ratio = 0.1 }
+
+let dynamic_cells ~repeats ~methods =
+  let sc = Workload.Scenario.ci in
+  List.map
+    (fun method_id ->
+      let key =
+        Printf.sprintf "dynamic/%s/u=%g"
+          (Methods.to_string method_id)
+          dynamic_updates.Workload.Mutation.ratio
+      in
+      time_cell ~repeats ~key ~queries:sc.Workload.Scenario.n_queries
+        (fun () -> fst (Dynamic.run sc ~updates:dynamic_updates ~method_id)))
     methods
 
 let capture_gc f =
@@ -168,10 +188,12 @@ let measure ?(smoke = false) ~label () =
             (fun c -> { c with key = "smoke/" ^ c.key })
             (fig3_cells ~repeats ~batches:[ 128 * 1024 ]
                ~methods:[ Methods.B ]
-            @ serve_cells ~repeats ~duration_ns:4e6 ~methods:[ Methods.C3 ])
+            @ serve_cells ~repeats ~duration_ns:4e6 ~methods:[ Methods.C3 ]
+            @ dynamic_cells ~repeats ~methods:[ Methods.C3 ])
         else
           fig3_cells ~repeats ~batches:fig3_batches ~methods:fig3_methods
-          @ serve_cells ~repeats ~duration_ns:4e7 ~methods:serve_methods)
+          @ serve_cells ~repeats ~duration_ns:4e7 ~methods:serve_methods
+          @ dynamic_cells ~repeats ~methods:[ Methods.A; Methods.C3 ])
   in
   { label; repeats; cells; gc }
 

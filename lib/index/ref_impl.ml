@@ -10,3 +10,61 @@ let rank (keys : int array) (q : int) =
   !lo
 
 let partition_of ~delimiters q = rank delimiters q
+
+(* Dynamic oracle: a growable sorted array with O(n) insert/delete.
+   Plain and slow on purpose — it is the reference the log-structured
+   [Segments] index is cross-validated against, so it must be obviously
+   correct rather than fast. *)
+module Dyn = struct
+  type t = { mutable keys : int array; mutable len : int }
+
+  let create keys =
+    Key.check_sorted_unique keys;
+    { keys = Array.copy keys; len = Array.length keys }
+
+  let size t = t.len
+
+  (* position of the first element > q within the live prefix *)
+  let pos (t : t) (q : int) =
+    let lo = ref 0 and hi = ref t.len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.keys.(mid) <= q then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let rank = pos
+
+  let mem t k =
+    let p = pos t k in
+    p > 0 && t.keys.(p - 1) = k
+
+  let grow t =
+    if t.len >= Array.length t.keys then begin
+      let bigger = Array.make (max 8 (2 * t.len)) 0 in
+      Array.blit t.keys 0 bigger 0 t.len;
+      t.keys <- bigger
+    end
+
+  let insert t k =
+    if mem t k then false
+    else begin
+      grow t;
+      let p = pos t k in
+      Array.blit t.keys p t.keys (p + 1) (t.len - p);
+      t.keys.(p) <- k;
+      t.len <- t.len + 1;
+      true
+    end
+
+  let delete t k =
+    if not (mem t k) then false
+    else begin
+      let p = pos t k in
+      Array.blit t.keys p t.keys (p - 1) (t.len - p);
+      t.len <- t.len - 1;
+      true
+    end
+
+  let to_sorted_array t = Array.sub t.keys 0 t.len
+end

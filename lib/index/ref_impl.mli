@@ -12,3 +12,27 @@ val partition_of : delimiters:int array -> int -> int
 (** [partition_of ~delimiters q] maps a key to the partition whose range
     contains it: with [p] delimiters (the least key of partitions
     [1..p]), the result is in [\[0, p\]]. *)
+
+(** Dynamic oracle: a growable sorted array with O(n) insert/delete —
+    the naive reference the log-structured {!Segments} index is
+    cross-validated against, op for op. *)
+module Dyn : sig
+  type t
+
+  val create : int array -> t
+  (** Copy of a strictly-increasing key array. *)
+
+  val size : t -> int
+  val rank : t -> int -> int
+  (** Number of live keys [<= q]. *)
+
+  val mem : t -> int -> bool
+
+  val insert : t -> int -> bool
+  (** Make the key live; returns whether the set changed. *)
+
+  val delete : t -> int -> bool
+  (** Remove the key; returns whether the set changed. *)
+
+  val to_sorted_array : t -> int array
+end

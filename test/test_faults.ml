@@ -266,6 +266,80 @@ let test_crash_without_fallback_reports_lost () =
   check_int "answered + lost = total" small_sc.Workload.Scenario.n_queries
     (answered r + d.Dispatch.Run_result.lost_queries)
 
+(* Dynamic index under a mid-run crash: update batches stranded on the
+   dead slave are counted lost (a master's static snapshot cannot
+   answer post-update queries, so there is no fallback), queries in
+   those batches are lost_queries, and every answered query is still
+   validated against the dynamic oracle — degraded, never silently
+   wrong. *)
+let test_dynamic_crash_accounting () =
+  let updates =
+    match Workload.Mutation.parse "0.2" with
+    | Ok u -> u
+    | Error e -> Alcotest.failf "updates: %s" e
+  in
+  let faults = parse_exn "crash:node=3,at=5e4" in
+  let r, st =
+    Dispatch.Dynamic.run ~faults small_sc ~updates
+      ~method_id:Dispatch.Methods.C3
+  in
+  let d = r.Dispatch.Run_result.degraded in
+  check_int "no validation errors" 0 r.Dispatch.Run_result.validation_errors;
+  check_bool "node 3 declared dead" true
+    (d.Dispatch.Run_result.dead_nodes = [ 3 ]);
+  check_bool "queries reported lost" true
+    (d.Dispatch.Run_result.lost_queries > 0);
+  check_bool "updates reported lost" true
+    (st.Dispatch.Dynamic.lost_updates > 0);
+  (* Query accounting closes exactly: every query is answered once or
+     reported lost, and completeness is that exact ratio. *)
+  let n = small_sc.Workload.Scenario.n_queries in
+  check_int "answered + lost = total" n
+    (answered r + d.Dispatch.Run_result.lost_queries);
+  check_bool "completeness exact" true
+    (Dispatch.Run_result.completeness r
+    = float_of_int (n - d.Dispatch.Run_result.lost_queries) /. float_of_int n);
+  (* Update accounting: every update is applied, a charged no-op, or
+     lost with its batch.  The sum can exceed the stream total — an
+     update the slave applied just before the crash is also counted
+     lost when its unacknowledged batch is abandoned (that overlap IS
+     the degraded accounting for updates racing a crash) — but it can
+     never undercount. *)
+  check_bool "no update unaccounted" true
+    (st.Dispatch.Dynamic.applied + st.Dispatch.Dynamic.noops
+       + st.Dispatch.Dynamic.lost_updates
+    >= st.Dispatch.Dynamic.updates);
+  check_bool "slave stats never exceed the stream" true
+    (st.Dispatch.Dynamic.applied + st.Dispatch.Dynamic.noops
+    <= st.Dispatch.Dynamic.updates);
+  (* Deterministic: an identical degraded dynamic run is bit-identical. *)
+  let again =
+    Dispatch.Dynamic.run ~faults small_sc ~updates
+      ~method_id:Dispatch.Methods.C3
+  in
+  check_bool "degraded dynamic run reproducible" true ((r, st) = again)
+
+(* Replay-prone fault families are rejected up front for dynamic runs:
+   a dropped, duplicated or delayed update batch could apply twice (or
+   out of order), which in-order exactly-once update forwarding cannot
+   absorb.  Crash/degrade/failover remain legal (covered above). *)
+let test_dynamic_rejects_replay_faults () =
+  let updates =
+    match Workload.Mutation.parse "0.1" with
+    | Ok u -> u
+    | Error e -> Alcotest.failf "updates: %s" e
+  in
+  let rejects s =
+    match
+      Dispatch.Dynamic.run ~faults:(parse_exn s) small_sc ~updates
+        ~method_id:Dispatch.Methods.C3
+    with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "dynamic run accepted fault spec %S" s
+  in
+  List.iter rejects
+    [ "drop:p=0.02"; "dup:p=0.01"; "delay:p=0.01"; "slow:node=2,factor=4" ]
+
 let test_slow_node () =
   let base = run_c3 () in
   let r = run_c3 ~faults:(parse_exn "slow:node=2,factor=4") () in
@@ -419,6 +493,10 @@ let () =
           Alcotest.test_case "crash failover" `Quick test_crash_failover;
           Alcotest.test_case "lost without fallback" `Quick
             test_crash_without_fallback_reports_lost;
+          Alcotest.test_case "dynamic crash accounting" `Quick
+            test_dynamic_crash_accounting;
+          Alcotest.test_case "dynamic rejects replay faults" `Quick
+            test_dynamic_rejects_replay_faults;
           Alcotest.test_case "slow node" `Quick test_slow_node;
           QCheck_alcotest.to_alcotest prop_never_silently_wrong;
           Alcotest.test_case "faulted sweep jobs-deterministic" `Slow

@@ -147,6 +147,43 @@ let test_serve_jobs_invariant () =
   check_bool "jobs 1 = 2" true (j1 = lines 2);
   check_bool "jobs 1 = 4" true (j1 = lines 4)
 
+(* Dynamic serving: method A over a log-structured Segments replica with
+   updates interleaved into the arrival stream.  Every answer is
+   validated online against the replayed dynamic oracle (the index
+   moves, so the static post-run peek cannot), all queries complete,
+   and the SLO report stays byte-identical at any worker count.
+   Methods B and C-3 must reject a dynamic stream rather than silently
+   serve stale answers. *)
+let test_serve_dynamic () =
+  let updates =
+    match Workload.Mutation.parse "mix:ratio=0.2,inserts=0.6" with
+    | Ok u -> u
+    | Error e -> Alcotest.failf "updates: %s" e
+  in
+  let spec =
+    serve_spec
+    |> Spec.with_methods [ Dispatch.Methods.A ]
+    |> Spec.with_updates updates
+  in
+  (match Dispatch.Serve.run spec with
+  | [ { Dispatch.Serve.run; serving } ] ->
+      check_int "validated online" 0 run.Dispatch.Run_result.validation_errors;
+      check_bool "completed all" true
+        (serving.Dispatch.Run_result.completed
+        = serving.Dispatch.Run_result.arrived)
+  | _ -> Alcotest.fail "expected one report");
+  let lines jobs =
+    Dispatch.Serve.csv_lines (Dispatch.Serve.run (Spec.with_jobs jobs spec))
+  in
+  let j1 = lines 1 in
+  check_bool "dynamic jobs 1 = 2" true (j1 = lines 2);
+  check_bool "dynamic jobs 1 = 4" true (j1 = lines 4);
+  match
+    Dispatch.Serve.run (Spec.with_methods [ Dispatch.Methods.B ] spec)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "serve B accepted a dynamic stream"
+
 (* QCheck form of the jobs invariance, aimed at the epoch-parallel
    methods: across random offered loads, the whole report — Run_result
    (cache counters, latency moments, metrics snapshot) plus the serving
@@ -164,7 +201,7 @@ let prop_parallel_epochs_reproduce_sequential =
       let method_id =
         if use_b then Dispatch.Methods.B else Dispatch.Methods.A
       in
-      let keys, queries, arrivals =
+      let keys, queries, arrivals, _ops =
         Dispatch.Serve.workload serve_sc ~arrival
       in
       let report jobs =
@@ -424,6 +461,7 @@ let () =
         [
           tc "reports sane" `Quick test_serve_reports_sane;
           tc "jobs invariant" `Quick test_serve_jobs_invariant;
+          tc "dynamic serving" `Quick test_serve_dynamic;
           tc "crash smoke" `Quick test_serve_with_crash;
           tc "render" `Quick test_serve_render;
           tc "cold/warm split" `Quick test_cold_warm_split;
